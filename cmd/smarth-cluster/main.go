@@ -1,0 +1,117 @@
+// Command smarth-cluster runs a real cluster — one namenode and N
+// datanodes — over TCP on localhost, so smarth-put in another terminal
+// can upload files to it with either protocol.
+//
+// Usage:
+//
+//	smarth-cluster -nn 127.0.0.1:9000 -datanodes 9 -dir /tmp/smarth
+//
+// Datanodes 1..ceil(N/2) sit in /rack-a, the rest in /rack-b. With -dir
+// set, blocks persist on disk; otherwise they live in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/datanode"
+	"repro/internal/namenode"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	nnAddr := flag.String("nn", "127.0.0.1:9000", "namenode listen address")
+	numDN := flag.Int("datanodes", 3, "number of datanodes")
+	dir := flag.String("dir", "", "base directory for on-disk block storage (empty = in-memory)")
+	imagePath := flag.String("image", "", "fsimage checkpoint: loaded on boot if present, saved on shutdown")
+	flag.Parse()
+
+	net := transport.NewTCPNetwork(nil)
+
+	nn := namenode.New(namenode.Options{})
+	if *imagePath != "" {
+		if f, err := os.Open(*imagePath); err == nil {
+			err = nn.LoadImage(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "load image:", err)
+				os.Exit(1)
+			}
+			fmt.Println("namespace restored from", *imagePath)
+		}
+	}
+	nnListener, err := net.Listen(*nnAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "namenode listen:", err)
+		os.Exit(1)
+	}
+	go nn.Serve(nnListener)
+	fmt.Println("namenode listening on", nnListener.Addr())
+
+	var dns []*datanode.Datanode
+	for i := 0; i < *numDN; i++ {
+		name := fmt.Sprintf("dn%d", i+1)
+		rack := "/rack-a"
+		if i >= (*numDN+1)/2 {
+			rack = "/rack-b"
+		}
+		var store storage.Store
+		if *dir != "" {
+			s, err := storage.NewDiskStore(filepath.Join(*dir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "store:", err)
+				os.Exit(1)
+			}
+			store = s
+		} else {
+			store = storage.NewMemStore()
+		}
+		dn, err := datanode.New(datanode.Options{
+			Name:         name,
+			Addr:         "127.0.0.1:0",
+			Rack:         rack,
+			NamenodeAddr: nnListener.Addr(),
+			Network:      net,
+			Store:        store,
+			Logf:         func(format string, args ...any) { fmt.Printf(format+"\n", args...) },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := dn.Start(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("datanode %s (%s) on %s\n", name, rack, dn.Info().Addr)
+		dns = append(dns, dn)
+	}
+
+	fmt.Printf("\ncluster up: %d datanodes. Upload with:\n", *numDN)
+	fmt.Printf("  smarth-put -nn %s -mode smarth -src <local file> -dst /demo\n\n", nnListener.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	if *imagePath != "" {
+		f, err := os.Create(*imagePath)
+		if err == nil {
+			err = nn.SaveImage(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "save image:", err)
+		} else {
+			fmt.Println("namespace checkpointed to", *imagePath)
+		}
+	}
+	for _, dn := range dns {
+		dn.Stop()
+	}
+	nn.Close()
+}

@@ -1,0 +1,55 @@
+// Bandwidth-contention scenario (paper §V-B.2, Figures 10–12): some
+// datanodes' NICs are throttled to 50 Mbps, modelling co-located tenants
+// eating bandwidth. HDFS's random placement keeps routing pipelines
+// through the slow nodes; SMARTH's speed records steer first-datanode
+// traffic away from them and the extra pipelines hide the slow tails.
+package main
+
+import (
+	"fmt"
+
+	smarth "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	for _, id := range []string{"figure10", "figure11a", "figure12a"} {
+		e, _ := smarth.ExperimentByID(id)
+		fmt.Print(smarth.FormatPoints(e, e.Run(1)))
+		fmt.Println()
+	}
+
+	// Ablation: how much of the win comes from the global optimization
+	// (Algorithm 1) versus multi-pipelining alone?
+	fmt.Println("ablation @ small cluster, 8GB, dn1+dn2 throttled to 50Mbps:")
+	base := smarth.SimConfig{
+		Preset:        smarth.SmallCluster,
+		FileSize:      8 * sim.GB,
+		Mode:          smarth.ModeSmarth,
+		NodeLimitMbps: map[int]float64{0: 50, 1: 50},
+		Seed:          4,
+	}
+	full := smarth.Simulate(base)
+
+	noGlobal := base
+	noGlobal.DisableGlobalOpt = true
+	ng := smarth.Simulate(noGlobal)
+
+	noLocal := base
+	noLocal.DisableLocalOpt = true
+	nl := smarth.Simulate(noLocal)
+
+	onePipe := base
+	onePipe.MaxPipelines = 1
+	op := smarth.Simulate(onePipe)
+
+	hdfs := base
+	hdfs.Mode = smarth.ModeHDFS
+	h := smarth.Simulate(hdfs)
+
+	fmt.Printf("  HDFS baseline:            %7.1fs\n", h.Duration.Seconds())
+	fmt.Printf("  SMARTH full:              %7.1fs\n", full.Duration.Seconds())
+	fmt.Printf("  - without global opt:     %7.1fs\n", ng.Duration.Seconds())
+	fmt.Printf("  - without local opt:      %7.1fs\n", nl.Duration.Seconds())
+	fmt.Printf("  - capped at 1 pipeline:   %7.1fs\n", op.Duration.Seconds())
+}

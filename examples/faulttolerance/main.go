@@ -1,0 +1,86 @@
+// Fault tolerance demo (paper §IV): a datanode is killed in the middle of
+// a SMARTH multi-pipeline upload. The client detects the broken
+// pipeline, asks the namenode to re-provision the block under a new
+// generation stamp (Algorithm 3), drains the error-pipeline set
+// (Algorithm 4), and the upload completes with full data integrity.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	smarth "repro"
+)
+
+func main() {
+	c, err := smarth.StartCluster(smarth.ClusterConfig{
+		NumDatanodes: 9,
+		RackFor: func(i int) string {
+			if i < 5 {
+				return "/rack-a"
+			}
+			return "/rack-b"
+		},
+		Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := c.NewClient("ft-client")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	data := make([]byte, 6<<20)
+	rand.New(rand.NewSource(7)).Read(data)
+
+	w, err := cl.CreateSmarth("/ft-demo", smarth.WriteOptions{
+		Replication: 3,
+		BlockSize:   256 << 10,
+		PacketSize:  16 << 10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	killAt := len(data) / 2
+	killed := false
+	for off := 0; off < len(data); {
+		n := 64 << 10
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if off >= killAt && !killed {
+			fmt.Println("!! killing datanode dn4 mid-upload (it is partitioned and stopped)")
+			c.KillDatanode("dn4")
+			killed = true
+		}
+		if _, err := w.Write(data[off : off+n]); err != nil {
+			log.Fatalf("write failed at offset %d: %v", off, err)
+		}
+		off += n
+	}
+	if err := w.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	fmt.Println("upload completed despite the crash")
+
+	got, err := cl.ReadAll("/ft-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		log.Fatal("data mismatch after recovery!")
+	}
+	fmt.Printf("read back %d MiB: bit-exact. Pipeline recovery works.\n", len(got)>>20)
+
+	info, err := cl.GetFileInfo("/ft-demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("file: %d blocks, %d bytes, complete=%v\n", info.NumBlocks, info.Len, info.Complete)
+}

@@ -1,0 +1,316 @@
+// Package client implements the DFS client: file creation, the baseline
+// HDFS stop-and-wait single-pipeline writer, the SMARTH asynchronous
+// multi-pipeline writer (with Algorithm 2 local optimization and
+// Algorithm 4 fault tolerance), block reads, and the heartbeat that
+// reports observed transfer speeds to the namenode.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+// Options configure a Client.
+type Options struct {
+	// Name identifies this client to the namenode and datanodes.
+	Name string
+	// NamenodeAddr is the namenode's RPC address.
+	NamenodeAddr string
+	// Network is the transport substrate.
+	Network transport.Network
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// HeartbeatInterval defaults to core.HeartbeatInterval (3 s).
+	HeartbeatInterval time.Duration
+	// Seed drives the local-optimization randomness (0 = from clock).
+	Seed int64
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// WriteOptions configure one file write.
+type WriteOptions struct {
+	// Mode selects the protocol: proto.ModeHDFS (stop-and-wait baseline)
+	// or proto.ModeSmarth (asynchronous multi-pipeline).
+	Mode proto.WriteMode
+	// Replication defaults to 3.
+	Replication int
+	// BlockSize defaults to 64 MB.
+	BlockSize int64
+	// PacketSize defaults to 64 KB.
+	PacketSize int
+	// Overwrite replaces an existing file.
+	Overwrite bool
+	// DisableLocalOpt turns off Algorithm 2 (ablation knob).
+	DisableLocalOpt bool
+	// MaxPipelines caps concurrent SMARTH pipelines; 0 means the paper's
+	// rule, activeDatanodes / replication.
+	MaxPipelines int
+}
+
+func (o *WriteOptions) applyDefaults() {
+	if o.Replication <= 0 {
+		o.Replication = 3
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = proto.DefaultBlockSize
+	}
+	if o.PacketSize <= 0 {
+		o.PacketSize = proto.DefaultPacketSize
+	}
+}
+
+// Client talks to one cluster.
+type Client struct {
+	opts Options
+	clk  clock.Clock
+
+	mu   sync.Mutex
+	nn   *rpc.Client
+	rng  *rand.Rand
+	done bool
+
+	recorder *core.Recorder
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New constructs a client and starts its heartbeat loop.
+func New(opts Options) (*Client, error) {
+	if opts.Name == "" || opts.NamenodeAddr == "" || opts.Network == nil {
+		return nil, errors.New("client: Name, NamenodeAddr and Network are required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = core.HeartbeatInterval
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = opts.Clock.Now().UnixNano()
+	}
+	c := &Client{
+		opts:     opts,
+		clk:      opts.Clock,
+		rng:      rand.New(rand.NewSource(seed)),
+		recorder: core.NewRecorder(),
+		stopCh:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.heartbeatLoop()
+	return c, nil
+}
+
+// Name returns the client's identity.
+func (c *Client) Name() string { return c.opts.Name }
+
+// Recorder exposes the client's speed table (tests, tools).
+func (c *Client) Recorder() *core.Recorder { return c.recorder }
+
+// Close stops the heartbeat loop and drops the namenode connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return
+	}
+	c.done = true
+	nn := c.nn
+	c.nn = nil
+	c.mu.Unlock()
+	close(c.stopCh)
+	if nn != nil {
+		nn.Close()
+	}
+	c.wg.Wait()
+}
+
+// heartbeatLoop pushes the speed table to the namenode every interval —
+// the SMARTH client-side half of the global optimization.
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-c.clk.After(c.opts.HeartbeatInterval):
+		}
+		c.SendHeartbeat()
+	}
+}
+
+// SendHeartbeat pushes the current speed table immediately and renews the
+// client's write leases. The SMARTH writer also calls this after each
+// block so fresh measurements reach the namenode promptly even in short
+// tests; an empty speed table is still sent because the heartbeat doubles
+// as the lease renewal.
+func (c *Client) SendHeartbeat() {
+	err := c.callNN(nnapi.MethodClientHeartbeat, nnapi.ClientHeartbeatReq{
+		Client: c.opts.Name,
+		Speeds: c.recorder.Snapshot(),
+	}, &nnapi.ClientHeartbeatResp{})
+	if err != nil {
+		c.opts.Logf("client %s: heartbeat: %v", c.opts.Name, err)
+	}
+}
+
+// --- namenode RPC plumbing ---
+
+func (c *Client) nnClient() (*rpc.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done {
+		return nil, errors.New("client: closed")
+	}
+	if c.nn != nil {
+		return c.nn, nil
+	}
+	conn, err := rpc.Dial(c.opts.Network, c.opts.Name, c.opts.NamenodeAddr)
+	if err != nil {
+		return nil, err
+	}
+	c.nn = conn
+	return conn, nil
+}
+
+func (c *Client) callNN(method string, arg, reply any) error {
+	for attempt := 0; ; attempt++ {
+		cl, err := c.nnClient()
+		if err != nil {
+			return err
+		}
+		err = cl.Call(method, arg, reply)
+		if err == nil {
+			return nil
+		}
+		var remote *rpc.RemoteError
+		if errors.As(err, &remote) {
+			return err
+		}
+		c.mu.Lock()
+		if c.nn == cl {
+			c.nn = nil
+		}
+		c.mu.Unlock()
+		cl.Close()
+		if attempt >= 1 {
+			return err
+		}
+	}
+}
+
+// --- typed ClientProtocol wrappers ---
+
+func (c *Client) createFile(path string, opts WriteOptions) error {
+	return c.callNN(nnapi.MethodCreate, nnapi.CreateReq{
+		Path:        path,
+		Client:      c.opts.Name,
+		Replication: opts.Replication,
+		BlockSize:   opts.BlockSize,
+		Overwrite:   opts.Overwrite,
+	}, &nnapi.CreateResp{})
+}
+
+func (c *Client) addBlock(path string, mode proto.WriteMode, exclude []string) (nnapi.AddBlockResp, error) {
+	var resp nnapi.AddBlockResp
+	err := c.callNN(nnapi.MethodAddBlock, nnapi.AddBlockReq{
+		Path: path, Client: c.opts.Name, Mode: mode, Exclude: exclude,
+	}, &resp)
+	return resp, err
+}
+
+func (c *Client) recoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockResp, error) {
+	req.Client = c.opts.Name
+	var resp nnapi.RecoverBlockResp
+	err := c.callNN(nnapi.MethodRecoverBlock, req, &resp)
+	return resp, err
+}
+
+func (c *Client) completeFile(path string) error {
+	deadline := 100
+	for i := 0; i < deadline; i++ {
+		var resp nnapi.CompleteResp
+		if err := c.callNN(nnapi.MethodComplete, nnapi.CompleteReq{Path: path, Client: c.opts.Name}, &resp); err != nil {
+			return err
+		}
+		if resp.Done {
+			return nil
+		}
+		c.clk.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("client: complete %s: blocks not minimally replicated in time", path)
+}
+
+func (c *Client) clusterInfo() (nnapi.ClusterInfoResp, error) {
+	var resp nnapi.ClusterInfoResp
+	err := c.callNN(nnapi.MethodClusterInfo, nnapi.ClusterInfoReq{}, &resp)
+	return resp, err
+}
+
+// GetFileInfo returns file metadata.
+func (c *Client) GetFileInfo(path string) (nnapi.GetFileInfoResp, error) {
+	var resp nnapi.GetFileInfoResp
+	err := c.callNN(nnapi.MethodGetFileInfo, nnapi.GetFileInfoReq{Path: path}, &resp)
+	return resp, err
+}
+
+func (c *Client) getBlockLocations(path string) (nnapi.GetBlockLocationsResp, error) {
+	var resp nnapi.GetBlockLocationsResp
+	err := c.callNN(nnapi.MethodGetBlockLocations, nnapi.GetBlockLocationsReq{Path: path, Client: c.opts.Name}, &resp)
+	return resp, err
+}
+
+// Delete removes a file; it reports whether the file existed.
+func (c *Client) Delete(path string) (bool, error) {
+	var resp nnapi.DeleteResp
+	err := c.callNN(nnapi.MethodDelete, nnapi.DeleteReq{Path: path}, &resp)
+	return resp.Deleted, err
+}
+
+// Rename moves a file; the destination must not exist.
+func (c *Client) Rename(src, dst string) error {
+	return c.callNN(nnapi.MethodRename, nnapi.RenameReq{Src: src, Dst: dst}, &nnapi.RenameResp{})
+}
+
+// List enumerates files under a path prefix ("" = everything), with
+// replication health per file.
+func (c *Client) List(prefix string) ([]nnapi.FileStatus, error) {
+	var resp nnapi.ListResp
+	err := c.callNN(nnapi.MethodList, nnapi.ListReq{Prefix: prefix}, &resp)
+	return resp.Files, err
+}
+
+// Decommission starts (cancel=false) or cancels draining a datanode.
+func (c *Client) Decommission(name string, cancel bool) error {
+	return c.callNN(nnapi.MethodDecommission, nnapi.DecommissionReq{Name: name, Cancel: cancel}, &nnapi.DecommissionResp{})
+}
+
+// DecommissionStatus reports a drain's progress.
+func (c *Client) DecommissionStatus(name string) (nnapi.DecommStatusResp, error) {
+	var resp nnapi.DecommStatusResp
+	err := c.callNN(nnapi.MethodDecommStatus, nnapi.DecommStatusReq{Name: name}, &resp)
+	return resp, err
+}
+
+// Balance schedules one round of replica moves from over-full to
+// under-full datanodes (copy-then-delete; redundancy never drops).
+func (c *Client) Balance(threshold float64, maxMoves int) (nnapi.BalanceResp, error) {
+	var resp nnapi.BalanceResp
+	err := c.callNN(nnapi.MethodBalance, nnapi.BalanceReq{Threshold: threshold, MaxMoves: maxMoves}, &resp)
+	return resp, err
+}

@@ -1,0 +1,89 @@
+package client
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/proto"
+)
+
+func lb3() block.LocatedBlock {
+	return block.LocatedBlock{
+		Block: block.Block{ID: 5, Gen: 2},
+		Targets: []block.DatanodeInfo{
+			{Name: "dn1", Addr: "dn1"},
+			{Name: "dn2", Addr: "dn2"},
+			{Name: "dn3", Addr: "dn3"},
+		},
+	}
+}
+
+func TestMarkFailedUsesBadIndex(t *testing.T) {
+	failed := map[string]bool{}
+	err := &pipelineError{lb: lb3(), badIndex: 1, cause: errors.New("checksum")}
+	markFailed(err, lb3(), failed)
+	if !failed["dn2"] || len(failed) != 1 {
+		t.Fatalf("failed = %v, want {dn2}", failed)
+	}
+}
+
+func TestMarkFailedUnknownSweeps(t *testing.T) {
+	failed := map[string]bool{}
+	cause := errors.New("connection reset")
+	// Unknown culprit: successive calls blame dn1, then dn2, then dn3.
+	for i, want := range []string{"dn1", "dn2", "dn3"} {
+		markFailed(cause, lb3(), failed)
+		if !failed[want] || len(failed) != i+1 {
+			t.Fatalf("after %d marks, failed = %v", i+1, failed)
+		}
+	}
+	// All blamed: further marks are a no-op rather than a panic.
+	markFailed(cause, lb3(), failed)
+	if len(failed) != 3 {
+		t.Fatalf("failed grew unexpectedly: %v", failed)
+	}
+}
+
+func TestMarkFailedOutOfRangeIndex(t *testing.T) {
+	failed := map[string]bool{}
+	err := &pipelineError{lb: lb3(), badIndex: 99, cause: errors.New("x")}
+	markFailed(err, lb3(), failed)
+	// Out-of-range index degrades to the sweep heuristic.
+	if !failed["dn1"] {
+		t.Fatalf("failed = %v, want sweep fallback to dn1", failed)
+	}
+}
+
+func TestPipelineErrorMessage(t *testing.T) {
+	err := &pipelineError{lb: lb3(), badIndex: 2, cause: errors.New("boom")}
+	msg := err.Error()
+	for _, want := range []string{"dn3", "boom", "blk_5"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if !errors.Is(err, err.cause) {
+		t.Fatal("Unwrap broken")
+	}
+}
+
+func TestWriteOptionsDefaults(t *testing.T) {
+	var o WriteOptions
+	o.applyDefaults()
+	if o.Replication != 3 || o.BlockSize != proto.DefaultBlockSize || o.PacketSize != proto.DefaultPacketSize {
+		t.Fatalf("defaults = %+v", o)
+	}
+	o2 := WriteOptions{Replication: 2, BlockSize: 1 << 20, PacketSize: 8 << 10}
+	o2.applyDefaults()
+	if o2.Replication != 2 || o2.BlockSize != 1<<20 || o2.PacketSize != 8<<10 {
+		t.Fatalf("explicit values clobbered: %+v", o2)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("client.New accepted empty options")
+	}
+}

@@ -1,0 +1,205 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+	"repro/internal/proto"
+)
+
+// pipelineError describes a failed pipeline with, when known, the index
+// of the datanode that reported the failure (pipeline order, 0 = first).
+type pipelineError struct {
+	lb       block.LocatedBlock
+	badIndex int // -1 when the culprit is unknown
+	cause    error
+}
+
+func (e *pipelineError) Error() string {
+	return fmt.Sprintf("pipeline %v (targets %v, bad index %d): %v",
+		e.lb.Block, e.lb.Names(), e.badIndex, e.cause)
+}
+
+func (e *pipelineError) Unwrap() error { return e.cause }
+
+// pipelineConn is one open write pipeline: the connection to the first
+// datanode, plus the PacketResponder state (the ack-reading goroutine and
+// its completion channels).
+type pipelineConn struct {
+	lb   block.LocatedBlock
+	mode proto.WriteMode
+	pc   *proto.Conn
+
+	// fnfa closes when the FIRST NODE FINISH ACK arrives (or, as a
+	// degenerate upper bound, when every ack arrived).
+	fnfa     chan struct{}
+	fnfaOnce sync.Once
+
+	// done receives exactly one value: nil after the last packet is
+	// fully acknowledged by every datanode, or the pipeline error.
+	done chan error
+
+	mu        sync.Mutex
+	lastSeqno int64 // seqno of the final packet; -1 until known
+}
+
+func (p *pipelineConn) setLastSeqno(s int64) {
+	p.mu.Lock()
+	p.lastSeqno = s
+	p.mu.Unlock()
+}
+
+func (p *pipelineConn) getLastSeqno() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSeqno
+}
+
+func (p *pipelineConn) signalFNFA() {
+	p.fnfaOnce.Do(func() { close(p.fnfa) })
+}
+
+func (p *pipelineConn) close() { p.pc.Close() }
+
+// openPipeline dials the first datanode, performs pipeline setup, and
+// starts the responder goroutine.
+func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode) (*pipelineConn, error) {
+	if len(lb.Targets) == 0 {
+		return nil, &pipelineError{lb: lb, badIndex: -1, cause: errors.New("no targets")}
+	}
+	conn, err := c.opts.Network.Dial(c.opts.Name, lb.Targets[0].Addr)
+	if err != nil {
+		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+	}
+	pc := proto.NewConn(conn)
+	hdr := &proto.WriteBlockHeader{
+		Block:   lb.Block,
+		Targets: lb.Targets[1:],
+		Client:  c.opts.Name,
+		Mode:    mode,
+		Depth:   0,
+	}
+	if err := pc.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
+		pc.Close()
+		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+	}
+	setupAck, err := pc.ReadAck()
+	if err != nil {
+		pc.Close()
+		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+	}
+	if setupAck.Kind != proto.AckHeader {
+		pc.Close()
+		return nil, &pipelineError{lb: lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack during setup", setupAck.Kind)}
+	}
+	if bad := setupAck.FirstBadIndex(); bad >= 0 {
+		pc.Close()
+		return nil, &pipelineError{lb: lb, badIndex: bad, cause: errors.New("pipeline setup refused")}
+	}
+
+	p := &pipelineConn{
+		lb:        lb,
+		mode:      mode,
+		pc:        pc,
+		fnfa:      make(chan struct{}),
+		done:      make(chan error, 1),
+		lastSeqno: -1,
+	}
+	go c.responderLoop(p)
+	return p, nil
+}
+
+// responderLoop is the client-side PacketResponder: it consumes acks from
+// the pipeline and resolves fnfa/done.
+func (c *Client) responderLoop(p *pipelineConn) {
+	for {
+		ack, err := p.pc.ReadAck()
+		if err != nil {
+			p.done <- &pipelineError{lb: p.lb, badIndex: -1, cause: err}
+			return
+		}
+		switch ack.Kind {
+		case proto.AckFNFA:
+			p.signalFNFA()
+		case proto.AckData:
+			if bad := ack.FirstBadIndex(); bad >= 0 {
+				p.done <- &pipelineError{lb: p.lb, badIndex: bad, cause: fmt.Errorf("packet %d failed: %v", ack.Seqno, ack.Statuses)}
+				return
+			}
+			if last := p.getLastSeqno(); last >= 0 && ack.Seqno == last {
+				// Every datanode stored every packet: the block is fully
+				// replicated, which upper-bounds the FNFA too.
+				p.signalFNFA()
+				p.done <- nil
+				return
+			}
+		default:
+			p.done <- &pipelineError{lb: p.lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack", ack.Kind)}
+			return
+		}
+	}
+}
+
+// streamBlock writes data as packets into the pipeline. It returns once
+// every packet (plus the terminal empty packet, if data is empty) has
+// been handed to the transport.
+func (c *Client) streamBlock(p *pipelineConn, data []byte, packetSize int) error {
+	if packetSize <= 0 {
+		packetSize = proto.DefaultPacketSize
+	}
+	numPackets := len(data) / packetSize
+	if len(data)%packetSize != 0 || numPackets == 0 {
+		numPackets++
+	}
+	p.setLastSeqno(int64(numPackets - 1))
+
+	var seqno int64
+	for off := 0; off < len(data) || seqno == 0; {
+		end := off + packetSize
+		if end > len(data) {
+			end = len(data)
+		}
+		payload := data[off:end]
+		pkt := &proto.Packet{
+			Seqno:  seqno,
+			Offset: int64(off),
+			Last:   seqno == int64(numPackets-1),
+			Sums:   checksum.Sum(payload, checksum.DefaultChunkSize),
+			Data:   payload,
+		}
+		if err := p.pc.WritePacket(pkt); err != nil {
+			return &pipelineError{lb: p.lb, badIndex: 0, cause: err}
+		}
+		seqno++
+		if end == off { // empty block: single empty terminal packet sent
+			break
+		}
+		off = end
+	}
+	return nil
+}
+
+// waitDone blocks until the pipeline's final ack (or failure).
+func (p *pipelineConn) waitDone() error { return <-p.done }
+
+// waitFNFA blocks until the first datanode finished storing the block, or
+// the pipeline failed first. It reports failure via the done channel
+// value re-queued for the caller's later waitDone.
+func (p *pipelineConn) waitFNFA() error {
+	select {
+	case <-p.fnfa:
+		return nil
+	case err := <-p.done:
+		// done fired before FNFA: either an error, or (with nil) the
+		// whole block was acknowledged, which implies FNFA. Re-queue the
+		// value so waitDone still observes it.
+		p.done <- err
+		if err == nil {
+			return nil
+		}
+		return err
+	}
+}

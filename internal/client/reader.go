@@ -1,0 +1,280 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+	"repro/internal/proto"
+)
+
+// Open returns a streaming reader over the whole file. Blocks are fetched
+// packet by packet (no whole-block buffering), checksums are verified
+// end to end, and a replica failing mid-block triggers a transparent
+// failover: the stream resumes from the exact byte offset on another
+// replica via a ranged read.
+func (c *Client) Open(path string) (io.ReadCloser, error) {
+	loc, err := c.getBlockLocations(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fileReader{c: c, blocks: loc.Blocks}, nil
+}
+
+// ReadAll fetches an entire file into memory.
+func (c *Client) ReadAll(path string) ([]byte, error) {
+	r, err := c.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// ReadRange fetches length bytes starting at offset, touching only the
+// blocks that intersect the range (length < 0 means to end of file).
+func (c *Client) ReadRange(path string, offset, length int64) ([]byte, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("client: negative offset %d", offset)
+	}
+	loc, err := c.getBlockLocations(path)
+	if err != nil {
+		return nil, err
+	}
+	if offset > loc.Len {
+		offset = loc.Len
+	}
+	if length < 0 || offset+length > loc.Len {
+		length = loc.Len - offset
+	}
+	out := make([]byte, 0, length)
+	var blockStart int64
+	for _, lb := range loc.Blocks {
+		blockEnd := blockStart + lb.Block.NumBytes
+		if blockEnd > offset && blockStart < offset+length {
+			from := offset - blockStart
+			if from < 0 {
+				from = 0
+			}
+			want := blockEnd - blockStart - from
+			if rem := offset + length - (blockStart + from); want > rem {
+				want = rem
+			}
+			bs := newBlockStream(c, lb, from, want)
+			part, err := io.ReadAll(bs)
+			bs.Close()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, part...)
+		}
+		blockStart = blockEnd
+		if blockStart >= offset+length {
+			break
+		}
+	}
+	return out, nil
+}
+
+// fileReader streams a file block by block.
+type fileReader struct {
+	c      *Client
+	blocks []block.LocatedBlock
+	idx    int
+	cur    *blockStream
+	closed bool
+}
+
+func (r *fileReader) Read(p []byte) (int, error) {
+	if r.closed {
+		return 0, errors.New("client: read from closed file")
+	}
+	for {
+		if r.cur == nil {
+			if r.idx >= len(r.blocks) {
+				return 0, io.EOF
+			}
+			lb := r.blocks[r.idx]
+			r.cur = newBlockStream(r.c, lb, 0, lb.Block.NumBytes)
+		}
+		n, err := r.cur.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err == io.EOF {
+			r.cur.Close()
+			r.cur = nil
+			r.idx++
+			continue
+		}
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (r *fileReader) Close() error {
+	r.closed = true
+	if r.cur != nil {
+		r.cur.Close()
+		r.cur = nil
+	}
+	return nil
+}
+
+// blockStream reads [offset, offset+length) of one block, packet by
+// packet, failing over between replicas on any error.
+type blockStream struct {
+	c  *Client
+	lb block.LocatedBlock
+
+	next      int64 // absolute block offset of the next byte to deliver
+	end       int64 // absolute block offset one past the last byte wanted
+	buf       []byte
+	pc        *proto.Conn
+	curTarget string
+	tried     map[string]bool // replicas that failed since the last progress
+	closed    bool
+}
+
+func newBlockStream(c *Client, lb block.LocatedBlock, offset, length int64) *blockStream {
+	if offset < 0 {
+		offset = 0
+	}
+	end := offset + length
+	if length < 0 || end > lb.Block.NumBytes {
+		end = lb.Block.NumBytes
+	}
+	return &blockStream{
+		c: c, lb: lb,
+		next: offset, end: end,
+		tried: make(map[string]bool),
+	}
+}
+
+func (b *blockStream) Close() error {
+	b.closed = true
+	if b.pc != nil {
+		b.pc.Close()
+		b.pc = nil
+	}
+	return nil
+}
+
+func (b *blockStream) Read(p []byte) (int, error) {
+	if b.closed {
+		return 0, errors.New("client: read from closed block stream")
+	}
+	for {
+		if len(b.buf) > 0 {
+			n := copy(p, b.buf)
+			b.buf = b.buf[n:]
+			return n, nil
+		}
+		if b.next >= b.end {
+			return 0, io.EOF
+		}
+		if b.pc == nil {
+			if err := b.connect(); err != nil {
+				return 0, err
+			}
+		}
+		if err := b.fill(); err != nil {
+			// Mid-stream failure: drop this replica and resume from the
+			// current offset on another one.
+			b.c.opts.Logf("client %s: block %v stream from %s failed at %d: %v",
+				b.c.opts.Name, b.lb.Block, b.curTarget, b.next, err)
+			b.tried[b.curTarget] = true
+			b.pc.Close()
+			b.pc = nil
+		}
+	}
+}
+
+// connect dials the next untried replica and performs the read handshake
+// from the current offset.
+func (b *blockStream) connect() error {
+	var lastErr error = fmt.Errorf("client: block %v has no locations", b.lb.Block)
+	for _, target := range b.lb.Targets {
+		if b.tried[target.Name] {
+			continue
+		}
+		pc, err := b.dial(target)
+		if err != nil {
+			b.tried[target.Name] = true
+			lastErr = err
+			b.c.opts.Logf("client %s: read %v from %s: %v", b.c.opts.Name, b.lb.Block, target.Name, err)
+			continue
+		}
+		b.pc = pc
+		b.curTarget = target.Name
+		return nil
+	}
+	return fmt.Errorf("client: block %v unreadable from all replicas: %w", b.lb.Block, lastErr)
+}
+
+func (b *blockStream) dial(target block.DatanodeInfo) (*proto.Conn, error) {
+	conn, err := b.c.opts.Network.Dial(b.c.opts.Name, target.Addr)
+	if err != nil {
+		return nil, err
+	}
+	pc := proto.NewConn(conn)
+	hdr := &proto.ReadBlockHeader{Block: b.lb.Block, Offset: b.next, Length: b.end - b.next}
+	if err := pc.WriteHeader(proto.OpReadBlock, hdr); err != nil {
+		pc.Close()
+		return nil, err
+	}
+	ack, err := pc.ReadAck()
+	if err != nil {
+		pc.Close()
+		return nil, err
+	}
+	if ack.Kind != proto.AckHeader || !ack.OK() {
+		pc.Close()
+		return nil, fmt.Errorf("client: datanode %s refused read of %v", target.Name, b.lb.Block)
+	}
+	return pc, nil
+}
+
+// fill reads one packet, verifies it, and buffers the bytes at or after
+// the current offset (the datanode widens the window to checksum-chunk
+// boundaries, so head bytes may need trimming).
+func (b *blockStream) fill() error {
+	pkt, err := b.pc.ReadPacket()
+	if err != nil {
+		return err
+	}
+	if err := checksum.Verify(pkt.Data, pkt.Sums, checksum.DefaultChunkSize); err != nil {
+		return err
+	}
+	data := pkt.Data
+	if pkt.Offset > b.next {
+		return fmt.Errorf("client: datanode skipped ahead: packet at %d, want %d", pkt.Offset, b.next)
+	}
+	if head := b.next - pkt.Offset; head > 0 {
+		if head >= int64(len(data)) {
+			data = nil
+		} else {
+			data = data[head:]
+		}
+	}
+	if over := (b.next + int64(len(data))) - b.end; over > 0 {
+		data = data[:int64(len(data))-over]
+	}
+	// Successful progress resets the failover budget.
+	if len(data) > 0 && len(b.tried) > 0 {
+		b.tried = make(map[string]bool)
+	}
+	// Copy out of the connection's read buffer.
+	b.buf = append([]byte(nil), data...)
+	b.next += int64(len(data))
+	if pkt.Last && b.next < b.end {
+		return io.ErrUnexpectedEOF
+	}
+	return nil
+}
+
+// Ensure blockStream satisfies the reader contract used above.
+var _ io.ReadCloser = (*blockStream)(nil)

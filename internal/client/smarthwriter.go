@@ -1,0 +1,285 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// CreateSmarth opens a file for writing with SMARTH's asynchronous
+// multi-pipeline protocol (Figure 4): after streaming a block to its
+// first datanode and receiving the FNFA, the client immediately requests
+// the next block and opens a new pipeline while the previous pipelines
+// keep draining acks in the background.
+func (c *Client) CreateSmarth(path string, opts WriteOptions) (Writer, error) {
+	opts.applyDefaults()
+	opts.Mode = proto.ModeSmarth
+	if err := c.createFile(path, opts); err != nil {
+		return nil, err
+	}
+
+	maxPipelines := opts.MaxPipelines
+	if maxPipelines <= 0 {
+		info, err := c.clusterInfo()
+		if err != nil {
+			return nil, err
+		}
+		maxPipelines = core.MaxPipelines(info.ActiveDatanodes, opts.Replication)
+	}
+
+	w := &smarthWriter{
+		c:            c,
+		path:         path,
+		opts:         opts,
+		maxPipelines: maxPipelines,
+		opened:       c.clk.Now(),
+		active:       make(map[*pipelineConn]bool),
+		activeDNs:    make(map[string]bool),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// failedBlock is one entry of Algorithm 4's error pipeline set: the block
+// whose pipeline broke, the data to re-stream, and the observed error.
+type failedBlock struct {
+	lb   block.LocatedBlock
+	data []byte
+	err  error
+}
+
+// smarthWriter implements the asynchronous multi-pipeline write.
+type smarthWriter struct {
+	statsTracker
+	c            *Client
+	path         string
+	opts         WriteOptions
+	maxPipelines int
+	opened       time.Time
+
+	buf    []byte
+	closed bool
+	werr   error
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// active holds pipelines whose acks are still draining.
+	active map[*pipelineConn]bool
+	// activeDNs enforces the one-pipeline-per-datanode rule (§IV-C).
+	activeDNs map[string]bool
+	// errored is Algorithm 4's error pipeline set.
+	errored []failedBlock
+}
+
+func (w *smarthWriter) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("client: write to closed file")
+	}
+	if w.werr != nil {
+		return 0, w.werr
+	}
+	w.buf = append(w.buf, p...)
+	w.addBytes(len(p))
+	for int64(len(w.buf)) >= w.opts.BlockSize {
+		blockData := make([]byte, w.opts.BlockSize)
+		copy(blockData, w.buf[:w.opts.BlockSize])
+		if err := w.launchBlock(blockData); err != nil {
+			w.werr = err
+			return 0, err
+		}
+		w.buf = w.buf[w.opts.BlockSize:]
+	}
+	return len(p), nil
+}
+
+func (w *smarthWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.werr != nil {
+		return w.werr
+	}
+	if len(w.buf) > 0 {
+		data := make([]byte, len(w.buf))
+		copy(data, w.buf)
+		w.buf = nil
+		if err := w.launchBlock(data); err != nil {
+			return err
+		}
+	}
+	// Step 5/6: wait for the pipeline set to empty, recovering any
+	// pipelines that failed along the way, then complete the file.
+	for {
+		w.mu.Lock()
+		for len(w.active) > 0 && len(w.errored) == 0 {
+			w.cond.Wait()
+		}
+		drained := len(w.active) == 0 && len(w.errored) == 0
+		w.mu.Unlock()
+		if drained {
+			break
+		}
+		if err := w.drainErrors(); err != nil {
+			return err
+		}
+	}
+	if err := w.c.completeFile(w.path); err != nil {
+		return err
+	}
+	w.setDuration(w.c.clk.Now().Sub(w.opened))
+	return nil
+}
+
+// launchBlock sends one block through a fresh pipeline and returns once
+// the FNFA arrives; ack draining continues in the background.
+func (w *smarthWriter) launchBlock(data []byte) error {
+	// Algorithm 4: recover broken pipelines before sending more data.
+	if err := w.drainErrors(); err != nil {
+		return err
+	}
+
+	// Respect the concurrent-pipeline cap.
+	w.mu.Lock()
+	for len(w.active) >= w.maxPipelines && len(w.errored) == 0 {
+		w.cond.Wait()
+	}
+	exclude := make([]string, 0, len(w.activeDNs))
+	for dn := range w.activeDNs {
+		exclude = append(exclude, dn)
+	}
+	hasErrors := len(w.errored) > 0
+	w.mu.Unlock()
+	if hasErrors {
+		if err := w.drainErrors(); err != nil {
+			return err
+		}
+		return w.launchBlock(data)
+	}
+
+	resp, err := w.c.addBlock(w.path, proto.ModeSmarth, exclude)
+	if err != nil {
+		return err
+	}
+	w.blockLaunched()
+	lb := resp.Located
+	if !w.opts.DisableLocalOpt {
+		w.localOptimize(&lb)
+	}
+
+	p, err := w.c.openPipeline(lb, proto.ModeSmarth)
+	if err != nil {
+		// Pipeline never formed: recover synchronously.
+		w.recovered()
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
+		return rerr
+	}
+	w.register(p)
+
+	start := w.c.clk.Now()
+	if err := w.c.streamBlock(p, data, w.opts.PacketSize); err != nil {
+		p.close()
+		<-p.done
+		w.unregister(p)
+		w.recovered()
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
+		return rerr
+	}
+	if err := p.waitFNFA(); err != nil {
+		p.close()
+		w.unregister(p)
+		w.recovered()
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
+		return rerr
+	}
+
+	// Record the client→first-datanode transfer speed (the measurement
+	// that powers Algorithms 1 and 2).
+	w.c.recorder.Record(lb.Targets[0].Name, int64(len(data)), w.c.clk.Now().Sub(start))
+	w.c.SendHeartbeat()
+
+	// PacketResponder continues in the background; when all acks arrive
+	// the pipeline leaves the active set (step 4→5 of Figure 2).
+	go func() {
+		err := p.waitDone()
+		p.close()
+		w.unregister(p)
+		if err != nil {
+			w.mu.Lock()
+			w.errored = append(w.errored, failedBlock{lb: lb, data: data, err: err})
+			w.cond.Broadcast()
+			w.mu.Unlock()
+		}
+	}()
+	return nil
+}
+
+// localOptimize applies Algorithm 2 to the pipeline's target order using
+// the client's own speed table.
+func (w *smarthWriter) localOptimize(lb *block.LocatedBlock) {
+	names := lb.Names()
+	byName := make(map[string]block.DatanodeInfo, len(lb.Targets))
+	for _, t := range lb.Targets {
+		byName[t.Name] = t
+	}
+	w.c.mu.Lock()
+	core.LocalOptimize(names, w.c.recorder.Speed, w.c.rng)
+	w.c.mu.Unlock()
+	for i, n := range names {
+		lb.Targets[i] = byName[n]
+	}
+}
+
+func (w *smarthWriter) register(p *pipelineConn) {
+	w.mu.Lock()
+	w.active[p] = true
+	for _, t := range p.lb.Targets {
+		w.activeDNs[t.Name] = true
+	}
+	active := len(w.active)
+	w.mu.Unlock()
+	w.notePipelines(active)
+}
+
+func (w *smarthWriter) unregister(p *pipelineConn) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.active[p] {
+		return
+	}
+	delete(w.active, p)
+	for _, t := range p.lb.Targets {
+		delete(w.activeDNs, t.Name)
+	}
+	w.cond.Broadcast()
+}
+
+// drainErrors empties Algorithm 4's error pipeline set, re-streaming each
+// interrupted block synchronously.
+func (w *smarthWriter) drainErrors() error {
+	for {
+		w.mu.Lock()
+		if len(w.errored) == 0 {
+			w.mu.Unlock()
+			return nil
+		}
+		fb := w.errored[0]
+		w.errored = w.errored[1:]
+		exclude := make([]string, 0, len(w.activeDNs))
+		for dn := range w.activeDNs {
+			exclude = append(exclude, dn)
+		}
+		w.mu.Unlock()
+
+		w.c.opts.Logf("client %s: recovering pipeline for %v: %v", w.c.opts.Name, fb.lb.Block, fb.err)
+		w.recovered()
+		if _, err := w.c.recoverAndResendSync(w.path, fb.lb, fb.data, fb.err, w.opts, exclude); err != nil {
+			return fmt.Errorf("client: multi-pipeline recovery: %w", err)
+		}
+	}
+}

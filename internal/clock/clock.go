@@ -1,0 +1,31 @@
+// Package clock abstracts time so the same protocol code can run against
+// the wall clock (real cluster mode) or a virtual clock driven by the
+// discrete-event simulator (paper-scale experiment mode).
+package clock
+
+import "time"
+
+// Clock is the minimal time source the protocol stack depends on.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for d on this clock.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the operating system clock.
+type Real struct{}
+
+// Now returns time.Now.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep calls time.Sleep.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After calls time.After.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// System is the shared real clock.
+var System Clock = Real{}

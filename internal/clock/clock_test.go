@@ -1,0 +1,27 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClock(t *testing.T) {
+	before := time.Now()
+	now := System.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Fatalf("Now() = %v outside [%v, %v]", now, before, after)
+	}
+
+	start := time.Now()
+	System.Sleep(10 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 8*time.Millisecond {
+		t.Fatalf("Sleep(10ms) returned after %v", elapsed)
+	}
+
+	select {
+	case <-System.After(5 * time.Millisecond):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After(5ms) never fired")
+	}
+}

@@ -1,0 +1,188 @@
+// Package cluster boots complete in-process clusters — a namenode plus N
+// datanodes over a chosen transport — applies tc-style bandwidth plans,
+// and injects faults. It is the harness behind the integration tests,
+// the examples, and the real-time (non-simulated) experiments.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/clock"
+	"repro/internal/datanode"
+	"repro/internal/namenode"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// NamenodeAddr is the namenode's listen address on the cluster network.
+const NamenodeAddr = "nn"
+
+// Config describes a cluster to boot.
+type Config struct {
+	// NumDatanodes defaults to 3.
+	NumDatanodes int
+	// RackFor assigns racks; nil puts every datanode in "/rack-a".
+	RackFor func(i int) string
+	// Shaper, when set, shapes all links (nil = unshaped).
+	Shaper *Shaper
+	// NewStore builds each datanode's store; nil = in-memory stores.
+	NewStore func(name string) (storage.Store, error)
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// HeartbeatInterval for datanodes and clients; defaults to 50 ms so
+	// tests converge quickly (the paper's value is 3 s).
+	HeartbeatInterval time.Duration
+	// Expiry is the namenode's liveness window; defaults to 5 heartbeats.
+	Expiry time.Duration
+	// Seed fixes all randomness for reproducibility.
+	Seed int64
+	// Image, when set, restores a namespace checkpoint (see
+	// Namenode.SaveImage) into the fresh namenode before any datanode
+	// registers — the restart path.
+	Image io.Reader
+	// Logf receives diagnostics from all components.
+	Logf func(format string, args ...any)
+}
+
+// Cluster is a running in-process cluster.
+type Cluster struct {
+	cfg Config
+	// Net is the in-memory network carrying all traffic.
+	Net *transport.MemNetwork
+	// NN is the namenode.
+	NN *namenode.Namenode
+	// DNs are the datanodes, index i named "dn<i+1>".
+	DNs []*datanode.Datanode
+
+	clients []*client.Client
+}
+
+// DatanodeName returns the canonical name of datanode i (0-based).
+func DatanodeName(i int) string { return fmt.Sprintf("dn%d", i+1) }
+
+// Start boots the cluster and waits until every datanode registered.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.NumDatanodes <= 0 {
+		cfg.NumDatanodes = 3
+	}
+	if cfg.RackFor == nil {
+		cfg.RackFor = func(int) string { return "/rack-a" }
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if cfg.Expiry <= 0 {
+		cfg.Expiry = 5 * cfg.HeartbeatInterval
+	}
+	if cfg.NewStore == nil {
+		cfg.NewStore = func(string) (storage.Store, error) { return storage.NewMemStore(), nil }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	var policy transport.LinkPolicy
+	if cfg.Shaper != nil {
+		policy = cfg.Shaper
+	}
+	net := transport.NewMemNetwork(policy)
+
+	nn := namenode.New(namenode.Options{Clock: cfg.Clock, Expiry: cfg.Expiry, Seed: cfg.Seed})
+	if cfg.Image != nil {
+		if err := nn.LoadImage(cfg.Image); err != nil {
+			return nil, err
+		}
+	}
+	nnListener, err := net.Listen(NamenodeAddr)
+	if err != nil {
+		return nil, err
+	}
+	go nn.Serve(nnListener)
+
+	c := &Cluster{cfg: cfg, Net: net, NN: nn}
+	for i := 0; i < cfg.NumDatanodes; i++ {
+		name := DatanodeName(i)
+		store, err := cfg.NewStore(name)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("cluster: store for %s: %w", name, err)
+		}
+		dn, err := datanode.New(datanode.Options{
+			Name:              name,
+			Addr:              name,
+			Rack:              cfg.RackFor(i),
+			NamenodeAddr:      NamenodeAddr,
+			Network:           net,
+			Store:             store,
+			Clock:             cfg.Clock,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			Logf:              cfg.Logf,
+		})
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
+		if err := dn.Start(); err != nil {
+			c.Stop()
+			return nil, err
+		}
+		c.DNs = append(c.DNs, dn)
+	}
+	return c, nil
+}
+
+// NewClient creates a client attached to this cluster.
+func (c *Cluster) NewClient(name string) (*client.Client, error) {
+	cl, err := client.New(client.Options{
+		Name:              name,
+		NamenodeAddr:      NamenodeAddr,
+		Network:           c.Net,
+		Clock:             c.cfg.Clock,
+		HeartbeatInterval: c.cfg.HeartbeatInterval,
+		Seed:              c.cfg.Seed + int64(len(c.clients)) + 1,
+		Logf:              c.cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.clients = append(c.clients, cl)
+	return cl, nil
+}
+
+// Datanode returns the datanode with the given name, or nil.
+func (c *Cluster) Datanode(name string) *datanode.Datanode {
+	for _, dn := range c.DNs {
+		if dn != nil && dn.Name() == name {
+			return dn
+		}
+	}
+	return nil
+}
+
+// KillDatanode simulates a crash: the node is partitioned from the
+// network (all connections break, new dials fail) and its process stops.
+func (c *Cluster) KillDatanode(name string) {
+	c.Net.Partition(name)
+	if dn := c.Datanode(name); dn != nil {
+		dn.Stop()
+	}
+}
+
+// Stop shuts everything down.
+func (c *Cluster) Stop() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, dn := range c.DNs {
+		if dn != nil {
+			dn.Stop()
+		}
+	}
+	c.NN.Close()
+}

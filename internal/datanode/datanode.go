@@ -1,0 +1,288 @@
+// Package datanode implements the storage server: it accepts write
+// pipelines (verifying checksums, persisting packets, mirroring them to
+// the next datanode, and acknowledging in reverse), serves block reads,
+// and heartbeats to the namenode. In SMARTH mode the first datanode of a
+// pipeline emits the FIRST NODE FINISH ACK as soon as a whole block is
+// locally stored, which is what lets the client overlap pipelines.
+package datanode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Options configure a datanode.
+type Options struct {
+	Name         string
+	Addr         string // data-transfer listen address
+	Rack         string
+	NamenodeAddr string
+	Network      transport.Network
+	Store        storage.Store
+	Clock        clock.Clock
+	// HeartbeatInterval defaults to core.HeartbeatInterval (3 s).
+	HeartbeatInterval time.Duration
+	// ForwardBuffer is the per-pipeline store-and-forward budget in
+	// bytes; defaults to one block (64 MB), per §IV-C.
+	ForwardBuffer int64
+	// Logf, when set, receives diagnostic messages.
+	Logf func(format string, args ...any)
+}
+
+// Datanode is one storage server. Start it with Start; stop with Stop.
+type Datanode struct {
+	opts Options
+	clk  clock.Clock
+
+	listener transport.Listener
+
+	mu       sync.Mutex
+	nnClient *rpc.Client
+	stopped  bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// New constructs a datanode (not yet started).
+func New(opts Options) (*Datanode, error) {
+	if opts.Name == "" || opts.Addr == "" {
+		return nil, errors.New("datanode: Name and Addr are required")
+	}
+	if opts.Network == nil || opts.Store == nil {
+		return nil, errors.New("datanode: Network and Store are required")
+	}
+	if opts.Clock == nil {
+		opts.Clock = clock.System
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = core.HeartbeatInterval
+	}
+	if opts.ForwardBuffer <= 0 {
+		opts.ForwardBuffer = proto.DefaultBlockSize
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Datanode{opts: opts, clk: opts.Clock, stopCh: make(chan struct{})}, nil
+}
+
+// Name returns the datanode's logical name.
+func (dn *Datanode) Name() string { return dn.opts.Name }
+
+// Info returns the datanode's descriptor.
+func (dn *Datanode) Info() block.DatanodeInfo {
+	return block.DatanodeInfo{Name: dn.opts.Name, Addr: dn.opts.Addr, Rack: dn.opts.Rack}
+}
+
+// Store exposes the replica store (tests and tools).
+func (dn *Datanode) Store() storage.Store { return dn.opts.Store }
+
+// Start opens the data listener, registers with the namenode (using the
+// listener's resolved address, so ":0" TCP ports work), and begins
+// serving and heartbeating.
+func (dn *Datanode) Start() error {
+	l, err := dn.opts.Network.Listen(dn.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("datanode %s: listen: %w", dn.opts.Name, err)
+	}
+	dn.listener = l
+	dn.opts.Addr = l.Addr()
+	if err := dn.register(); err != nil {
+		l.Close()
+		return fmt.Errorf("datanode %s: register: %w", dn.opts.Name, err)
+	}
+	dn.wg.Add(2)
+	go dn.acceptLoop()
+	go dn.heartbeatLoop()
+	return nil
+}
+
+// Stop halts serving. Blocks until background goroutines exit.
+func (dn *Datanode) Stop() {
+	dn.mu.Lock()
+	if dn.stopped {
+		dn.mu.Unlock()
+		return
+	}
+	dn.stopped = true
+	nn := dn.nnClient
+	dn.nnClient = nil
+	dn.mu.Unlock()
+
+	close(dn.stopCh)
+	if dn.listener != nil {
+		dn.listener.Close()
+	}
+	if nn != nil {
+		nn.Close()
+	}
+	dn.wg.Wait()
+}
+
+// --- namenode RPC plumbing ---
+
+func (dn *Datanode) nn() (*rpc.Client, error) {
+	dn.mu.Lock()
+	defer dn.mu.Unlock()
+	if dn.stopped {
+		return nil, errors.New("datanode: stopped")
+	}
+	if dn.nnClient != nil {
+		return dn.nnClient, nil
+	}
+	c, err := rpc.Dial(dn.opts.Network, dn.opts.Name, dn.opts.NamenodeAddr)
+	if err != nil {
+		return nil, err
+	}
+	dn.nnClient = c
+	return c, nil
+}
+
+// callNN invokes a namenode method, redialing once on a broken client.
+func (dn *Datanode) callNN(method string, arg, reply any) error {
+	for attempt := 0; attempt < 2; attempt++ {
+		c, err := dn.nn()
+		if err != nil {
+			return err
+		}
+		err = c.Call(method, arg, reply)
+		if err == nil {
+			return nil
+		}
+		var remote *rpc.RemoteError
+		if errors.As(err, &remote) {
+			return err // the server answered; don't retry
+		}
+		// Transport failure: drop the cached client and retry.
+		dn.mu.Lock()
+		if dn.nnClient == c {
+			dn.nnClient = nil
+		}
+		dn.mu.Unlock()
+		c.Close()
+		if attempt == 1 {
+			return err
+		}
+	}
+	return nil
+}
+
+func (dn *Datanode) register() error {
+	var blocks []block.Block
+	for _, rep := range dn.opts.Store.Blocks() {
+		blocks = append(blocks, rep.Block)
+	}
+	return dn.callNN(nnapi.MethodRegister, nnapi.RegisterReq{
+		Name:   dn.opts.Name,
+		Addr:   dn.opts.Addr,
+		Rack:   dn.opts.Rack,
+		Blocks: blocks,
+	}, &nnapi.RegisterResp{})
+}
+
+func (dn *Datanode) heartbeatLoop() {
+	defer dn.wg.Done()
+	for {
+		select {
+		case <-dn.stopCh:
+			return
+		case <-dn.clk.After(dn.opts.HeartbeatInterval):
+		}
+		var resp nnapi.HeartbeatResp
+		err := dn.callNN(nnapi.MethodHeartbeat, nnapi.HeartbeatReq{
+			Name:      dn.opts.Name,
+			UsedBytes: dn.opts.Store.UsedBytes(),
+		}, &resp)
+		if err != nil {
+			var remote *rpc.RemoteError
+			if errors.As(err, &remote) {
+				// The namenode forgot us (restart): re-register.
+				if rerr := dn.register(); rerr != nil {
+					dn.opts.Logf("datanode %s: re-register: %v", dn.opts.Name, rerr)
+				}
+			}
+			continue
+		}
+		for _, inv := range resp.Invalidate {
+			// Only delete replicas at or below the stale generation: a
+			// recovery may have re-streamed this block here since the
+			// invalidation was queued.
+			info, err := dn.opts.Store.Info(inv.ID)
+			if err != nil {
+				continue
+			}
+			if info.Block.Gen > inv.Gen {
+				continue
+			}
+			if err := dn.opts.Store.Delete(inv.ID); err != nil && !errors.Is(err, storage.ErrNotFound) {
+				dn.opts.Logf("datanode %s: invalidate blk_%d: %v", dn.opts.Name, inv.ID, err)
+			}
+		}
+		for _, cmd := range resp.Replicate {
+			cmd := cmd
+			dn.wg.Add(1)
+			go func() {
+				defer dn.wg.Done()
+				if err := dn.transferBlock(cmd); err != nil {
+					dn.opts.Logf("datanode %s: replicate %v: %v", dn.opts.Name, cmd.Block, err)
+				}
+			}()
+		}
+	}
+}
+
+func (dn *Datanode) reportBlockReceived(b block.Block) {
+	err := dn.callNN(nnapi.MethodBlockReceived, nnapi.BlockReceivedReq{
+		Name:  dn.opts.Name,
+		Block: b,
+	}, &nnapi.BlockReceivedResp{})
+	if err != nil {
+		dn.opts.Logf("datanode %s: blockReceived %v: %v", dn.opts.Name, b, err)
+	}
+}
+
+// --- data transfer serving ---
+
+func (dn *Datanode) acceptLoop() {
+	defer dn.wg.Done()
+	for {
+		conn, err := dn.listener.Accept()
+		if err != nil {
+			return
+		}
+		dn.wg.Add(1)
+		go func() {
+			defer dn.wg.Done()
+			dn.serveConn(conn)
+		}()
+	}
+}
+
+func (dn *Datanode) serveConn(conn transport.Conn) {
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+	op, hdr, err := pc.ReadHeader()
+	if err != nil {
+		return
+	}
+	switch op {
+	case proto.OpWriteBlock:
+		dn.handleWrite(pc, hdr.(*proto.WriteBlockHeader))
+	case proto.OpReadBlock:
+		dn.handleRead(pc, hdr.(*proto.ReadBlockHeader))
+	default:
+		dn.opts.Logf("datanode %s: unexpected op %v", dn.opts.Name, op)
+	}
+}

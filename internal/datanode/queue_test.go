@@ -1,0 +1,155 @@
+package datanode
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func pkt(seq int64, n int) *proto.Packet {
+	return &proto.Packet{Seqno: seq, Data: make([]byte, n)}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newPacketQueue(1 << 20)
+	for i := int64(0); i < 10; i++ {
+		if !q.push(pkt(i, 100)) {
+			t.Fatal("push failed")
+		}
+	}
+	q.close()
+	for i := int64(0); i < 10; i++ {
+		p, ok := q.pop()
+		if !ok || p.Seqno != i {
+			t.Fatalf("pop %d = (%v, %v)", i, p, ok)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop succeeded after drain+close")
+	}
+}
+
+func TestQueueByteCapBlocks(t *testing.T) {
+	q := newPacketQueue(250)
+	q.push(pkt(0, 200)) // fits
+	pushed := make(chan bool, 1)
+	go func() { pushed <- q.push(pkt(1, 200)) }() // 400 > 250: blocks
+	select {
+	case <-pushed:
+		t.Fatal("push over capacity did not block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if p, ok := q.pop(); !ok || p.Seqno != 0 {
+		t.Fatal("pop failed")
+	}
+	select {
+	case ok := <-pushed:
+		if !ok {
+			t.Fatal("unblocked push reported failure")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push did not unblock after pop")
+	}
+}
+
+func TestQueueOversizedSinglePacket(t *testing.T) {
+	// A packet larger than the whole capacity must still pass when the
+	// queue is empty (otherwise it would deadlock forever).
+	q := newPacketQueue(10)
+	done := make(chan bool, 1)
+	go func() { done <- q.push(pkt(0, 100)) }()
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Fatal("oversized push failed")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("oversized push deadlocked on empty queue")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := newPacketQueue(1 << 20)
+	q.push(pkt(0, 10))
+	q.close()
+	if q.push(pkt(1, 10)) {
+		t.Fatal("push succeeded after close")
+	}
+	if p, ok := q.pop(); !ok || p.Seqno != 0 {
+		t.Fatal("queued packet lost at close")
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop after drain returned a packet")
+	}
+}
+
+func TestQueueBreakUnblocksPusher(t *testing.T) {
+	q := newPacketQueue(100)
+	q.push(pkt(0, 100)) // fill to capacity
+	result := make(chan bool, 1)
+	go func() { result <- q.push(pkt(1, 100)) }() // blocks on capacity
+	time.Sleep(20 * time.Millisecond)
+	q.breakNow()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("push succeeded after break")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("push did not unblock after break")
+	}
+}
+
+func TestQueueBreakUnblocksPopper(t *testing.T) {
+	q := newPacketQueue(100)
+	result := make(chan bool, 1)
+	go func() {
+		_, ok := q.pop() // empty queue: blocks
+		result <- ok
+	}()
+	time.Sleep(20 * time.Millisecond)
+	q.breakNow()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Fatal("pop returned a packet after break")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pop did not unblock after break")
+	}
+}
+
+func TestQueueDefaultCapacity(t *testing.T) {
+	q := newPacketQueue(0)
+	if q.capacity != proto.DefaultBlockSize {
+		t.Fatalf("default capacity = %d, want one block", q.capacity)
+	}
+}
+
+func TestQueueConcurrentProducerConsumer(t *testing.T) {
+	q := newPacketQueue(64 << 10)
+	const total = 2000
+	go func() {
+		for i := int64(0); i < total; i++ {
+			if !q.push(pkt(i, 1024)) {
+				return
+			}
+		}
+		q.close()
+	}()
+	var got int64
+	for {
+		p, ok := q.pop()
+		if !ok {
+			break
+		}
+		if p.Seqno != got {
+			t.Fatalf("out of order: %d, want %d", p.Seqno, got)
+		}
+		got++
+	}
+	if got != total {
+		t.Fatalf("consumed %d packets, want %d", got, total)
+	}
+}

@@ -1,0 +1,109 @@
+package datanode
+
+import (
+	"io"
+
+	"repro/internal/checksum"
+	"repro/internal/proto"
+)
+
+// handleRead streams a block (or a byte range of it) back to the caller
+// as packets carrying the checksums captured at write time — never
+// checksums recomputed from the stored bytes, so a replica that rotted on
+// this datanode is detected by the reader rather than silently served.
+//
+// Because the stored checksums cover fixed 512-byte chunks, the served
+// window is widened to chunk boundaries; packets carry their true offset
+// in the block and the client trims the extra head/tail bytes.
+func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
+	fail := func() {
+		_ = pc.WriteAck(&proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusError}})
+	}
+	r, length, err := dn.opts.Store.Open(hdr.Block.ID)
+	if err != nil {
+		dn.opts.Logf("datanode %s: read %v: %v", dn.opts.Name, hdr.Block, err)
+		fail()
+		return
+	}
+	defer r.Close()
+	sums, err := dn.opts.Store.Sums(hdr.Block.ID)
+	if err != nil {
+		dn.opts.Logf("datanode %s: read sums %v: %v", dn.opts.Name, hdr.Block, err)
+		fail()
+		return
+	}
+
+	// Clamp the request, then widen to chunk boundaries.
+	offset := hdr.Offset
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > length {
+		offset = length
+	}
+	want := hdr.Length
+	if want < 0 || offset+want > length {
+		want = length - offset
+	}
+	const cs = checksum.DefaultChunkSize
+	start := offset - offset%cs
+	end := offset + want
+	if rem := end % cs; rem != 0 {
+		end += cs - rem
+	}
+	if end > length {
+		end = length
+	}
+
+	if start > 0 {
+		if seeker, ok := r.(io.Seeker); ok {
+			if _, err := seeker.Seek(start, io.SeekStart); err != nil {
+				fail()
+				return
+			}
+		} else if _, err := io.CopyN(io.Discard, r, start); err != nil {
+			fail()
+			return
+		}
+	}
+
+	if err := pc.WriteAck(&proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusSuccess}}); err != nil {
+		return
+	}
+
+	// Stream chunk-aligned packets with the stored checksums.
+	buf := make([]byte, proto.DefaultPacketSize)
+	var seqno int64
+	pos := start
+	for {
+		n := int64(len(buf))
+		if n > end-pos {
+			n = end - pos
+		}
+		m, err := io.ReadFull(r, buf[:n])
+		if err != nil && int64(m) != n {
+			return // truncated replica: drop the conn, reader fails over
+		}
+		data := buf[:m]
+		firstChunk := pos / cs
+		lastChunk := (pos + int64(m) + cs - 1) / cs
+		if int(lastChunk) > len(sums) {
+			return // checksum metadata shorter than the data: corrupt
+		}
+		pkt := &proto.Packet{
+			Seqno:  seqno,
+			Offset: pos,
+			Last:   pos+int64(m) >= end,
+			Sums:   sums[firstChunk:lastChunk],
+			Data:   data,
+		}
+		if err := pc.WritePacket(pkt); err != nil {
+			return
+		}
+		pos += int64(m)
+		seqno++
+		if pkt.Last {
+			return
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package datanode
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checksum"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+)
+
+// transferBlock copies a locally finalized replica to the target
+// datanodes, executing a namenode ReplicateCmd. The transfer reuses the
+// ordinary write pipeline: the first target receives the block with the
+// remaining targets as its mirrors and reports blockReceived itself, so
+// the namenode learns about the new replicas the normal way. Depth starts
+// at 1 so no FNFA is emitted.
+func (dn *Datanode) transferBlock(cmd nnapi.ReplicateCmd) error {
+	r, length, err := dn.opts.Store.Open(cmd.Block.ID)
+	if err != nil {
+		return fmt.Errorf("datanode %s: transfer %v: %w", dn.opts.Name, cmd.Block, err)
+	}
+	defer r.Close()
+	if len(cmd.Targets) == 0 {
+		return nil
+	}
+
+	conn, err := dn.opts.Network.Dial(dn.opts.Name, cmd.Targets[0].Addr)
+	if err != nil {
+		return fmt.Errorf("datanode %s: transfer %v: dial: %w", dn.opts.Name, cmd.Block, err)
+	}
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+
+	hdr := &proto.WriteBlockHeader{
+		Block:   cmd.Block,
+		Targets: cmd.Targets[1:],
+		Client:  dn.opts.Name,
+		Mode:    proto.ModeHDFS,
+		Depth:   1,
+	}
+	if err := pc.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
+		return err
+	}
+	setup, err := pc.ReadAck()
+	if err != nil {
+		return err
+	}
+	if setup.Kind != proto.AckHeader || !setup.OK() {
+		return fmt.Errorf("datanode %s: transfer %v: setup refused: %v", dn.opts.Name, cmd.Block, setup.Statuses)
+	}
+
+	// Stream the replica as packets; collect acks afterwards.
+	numPackets := int((length + proto.DefaultPacketSize - 1) / proto.DefaultPacketSize)
+	if numPackets == 0 {
+		numPackets = 1
+	}
+	buf := make([]byte, proto.DefaultPacketSize)
+	var sent int64
+	for seq := 0; seq < numPackets; seq++ {
+		want := int64(len(buf))
+		if want > length-sent {
+			want = length - sent
+		}
+		n, err := io.ReadFull(r, buf[:want])
+		if err != nil && int64(n) != want {
+			return fmt.Errorf("datanode %s: transfer %v: read replica: %w", dn.opts.Name, cmd.Block, err)
+		}
+		data := buf[:n]
+		pkt := &proto.Packet{
+			Seqno:  int64(seq),
+			Offset: sent,
+			Last:   seq == numPackets-1,
+			Sums:   checksum.Sum(data, checksum.DefaultChunkSize),
+			Data:   data,
+		}
+		if err := pc.WritePacket(pkt); err != nil {
+			return err
+		}
+		sent += int64(n)
+	}
+
+	// Wait for the last packet's ack from the whole sub-pipeline.
+	for {
+		ack, err := pc.ReadAck()
+		if err != nil {
+			return err
+		}
+		if ack.Kind != proto.AckData {
+			continue
+		}
+		if !ack.OK() {
+			return fmt.Errorf("datanode %s: transfer %v failed: %v", dn.opts.Name, cmd.Block, ack.Statuses)
+		}
+		if ack.Seqno == int64(numPackets-1) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,275 @@
+package datanode
+
+import (
+	"sync"
+
+	"repro/internal/checksum"
+	"repro/internal/proto"
+)
+
+// ackSender serializes ack writes to the upstream connection: the
+// responder goroutine and the FNFA emission on the receive path share it.
+type ackSender struct {
+	mu sync.Mutex
+	pc *proto.Conn
+}
+
+func (s *ackSender) send(a *proto.Ack) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pc.WriteAck(a)
+}
+
+// localStatus is the receive-path verdict for one packet, consumed by the
+// responder in packet order.
+type localStatus struct {
+	seqno int64
+	last  bool
+}
+
+// handleWrite runs one write pipeline at this datanode:
+//
+//	receiver: upstream packets -> verify CRC -> local store -> forward queue
+//	forwarder: forward queue -> mirror datanode (bounded by one block)
+//	responder: mirror acks (or local completions, on the last datanode)
+//	           -> upstream acks, own status prepended
+//
+// On the pipeline's first datanode in SMARTH mode, committing the block
+// locally triggers the FNFA upstream immediately, regardless of how far
+// the mirrors have drained.
+func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
+	sender := &ackSender{pc: up}
+
+	// --- pipeline setup: connect the mirror chain, then ack the header ---
+	var mirror *proto.Conn
+	setupStatuses := make([]proto.Status, 1+len(hdr.Targets))
+	if len(hdr.Targets) > 0 {
+		m, downstream, err := dn.connectMirror(hdr)
+		if err != nil {
+			dn.opts.Logf("datanode %s: mirror %s: %v", dn.opts.Name, hdr.Targets[0].Name, err)
+			for i := 1; i < len(setupStatuses); i++ {
+				setupStatuses[i] = proto.StatusError
+			}
+		} else {
+			copy(setupStatuses[1:], downstream)
+			mirror = m
+		}
+	}
+
+	w, err := dn.opts.Store.Create(hdr.Block, true)
+	if err != nil {
+		dn.opts.Logf("datanode %s: create %v: %v", dn.opts.Name, hdr.Block, err)
+		setupStatuses[0] = proto.StatusError
+	} else {
+		defer w.Close() // aborts the temp replica unless committed
+	}
+
+	headerAck := &proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: setupStatuses}
+	if sender.send(headerAck) != nil || !headerAck.OK() {
+		if mirror != nil {
+			mirror.Close()
+		}
+		return // the client rebuilds the pipeline (Algorithm 3)
+	}
+
+	// --- abort machinery shared by the three roles ---
+	done := make(chan struct{})
+	queue := newPacketQueue(dn.opts.ForwardBuffer)
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			close(done)
+			queue.breakNow()
+			if mirror != nil {
+				mirror.Close()
+			}
+			up.Close()
+		})
+	}
+
+	statusCh := make(chan localStatus, 4096)
+	var wg sync.WaitGroup
+
+	// --- forwarder ---
+	if mirror != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pkt, ok := queue.pop()
+				if !ok {
+					return
+				}
+				if err := mirror.WritePacket(pkt); err != nil {
+					abort()
+					return
+				}
+			}
+		}()
+	}
+
+	// --- responder ---
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if mirror == nil {
+			// Last datanode: acknowledge each locally stored packet.
+			for st := range statusCh {
+				ack := &proto.Ack{Kind: proto.AckData, Seqno: st.seqno, Statuses: []proto.Status{proto.StatusSuccess}}
+				if sender.send(ack) != nil {
+					abort()
+					return
+				}
+				if st.last {
+					return
+				}
+			}
+			return
+		}
+		// Interior datanode: merge downstream acks with local verdicts.
+		for {
+			downAck, err := mirror.ReadAck()
+			if err != nil {
+				abort()
+				return
+			}
+			select {
+			case st, ok := <-statusCh:
+				if !ok {
+					abort()
+					return
+				}
+				merged := &proto.Ack{
+					Kind:     proto.AckData,
+					Seqno:    downAck.Seqno,
+					Statuses: append([]proto.Status{proto.StatusSuccess}, downAck.Statuses...),
+				}
+				if sender.send(merged) != nil {
+					abort()
+					return
+				}
+				if st.last {
+					return
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// --- receiver (this goroutine) ---
+	dn.receiveLoop(up, hdr, w, mirror != nil, queue, statusCh, sender, done, abort)
+
+	queue.close()
+	wg.Wait()
+	if mirror != nil {
+		mirror.Close()
+	}
+}
+
+// connectMirror dials the next datanode, forwards the header with this
+// hop stripped, and waits for the downstream setup ack.
+func (dn *Datanode) connectMirror(hdr *proto.WriteBlockHeader) (*proto.Conn, []proto.Status, error) {
+	next := hdr.Targets[0]
+	conn, err := dn.opts.Network.Dial(dn.opts.Name, next.Addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := proto.NewConn(conn)
+	fwd := &proto.WriteBlockHeader{
+		Block:   hdr.Block,
+		Targets: hdr.Targets[1:],
+		Client:  hdr.Client,
+		Mode:    hdr.Mode,
+		Depth:   hdr.Depth + 1,
+	}
+	if err := m.WriteHeader(proto.OpWriteBlock, fwd); err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	ack, err := m.ReadAck()
+	if err != nil || ack.Kind != proto.AckHeader {
+		m.Close()
+		return nil, nil, err
+	}
+	if !ack.OK() {
+		m.Close()
+		return nil, ack.Statuses, errSetupFailed
+	}
+	return m, ack.Statuses, nil
+}
+
+var errSetupFailed = &setupError{}
+
+type setupError struct{}
+
+func (*setupError) Error() string { return "datanode: downstream pipeline setup failed" }
+
+// receiveLoop ingests packets until the last packet, an error, or abort.
+func (dn *Datanode) receiveLoop(
+	up *proto.Conn,
+	hdr *proto.WriteBlockHeader,
+	w interface {
+		Write([]byte) (int, error)
+		Commit() error
+	},
+	hasMirror bool,
+	queue *packetQueue,
+	statusCh chan<- localStatus,
+	sender *ackSender,
+	done <-chan struct{},
+	abort func(),
+) {
+	defer close(statusCh)
+	var received int64
+	for {
+		pkt, err := up.ReadPacket()
+		if err != nil {
+			abort()
+			return
+		}
+		st := proto.StatusSuccess
+		if checksum.Verify(pkt.Data, pkt.Sums, checksum.DefaultChunkSize) != nil {
+			st = proto.StatusErrorChecksum
+		} else if len(pkt.Data) > 0 {
+			if _, werr := w.Write(pkt.Data); werr != nil {
+				st = proto.StatusError
+			}
+		}
+		if st != proto.StatusSuccess {
+			// Surface the failure upstream, then tear the pipeline down;
+			// the client recovers per Algorithm 3/4.
+			_ = sender.send(&proto.Ack{Kind: proto.AckData, Seqno: pkt.Seqno, Statuses: []proto.Status{st}})
+			abort()
+			return
+		}
+		received += int64(len(pkt.Data))
+		if hasMirror {
+			if !queue.push(pkt) {
+				abort()
+				return
+			}
+		}
+		select {
+		case statusCh <- localStatus{seqno: pkt.Seqno, last: pkt.Last}:
+		case <-done:
+			return
+		}
+		if pkt.Last {
+			if err := w.Commit(); err != nil {
+				dn.opts.Logf("datanode %s: commit %v: %v", dn.opts.Name, hdr.Block, err)
+				abort()
+				return
+			}
+			finalized := hdr.Block
+			finalized.NumBytes = received
+			dn.reportBlockReceived(finalized)
+			if hdr.Depth == 0 && hdr.Mode == proto.ModeSmarth {
+				// FIRST NODE FINISH ACK: the whole block is stored here;
+				// the client may open its next pipeline now.
+				_ = sender.send(&proto.Ack{Kind: proto.AckFNFA, Seqno: pkt.Seqno, Statuses: []proto.Status{proto.StatusSuccess}})
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine keeps a priority queue of timestamped events. Virtual time is
+// a time.Duration measured from the start of the simulation. Events that
+// share a timestamp fire in the order they were scheduled, which makes
+// simulation runs fully reproducible for a given seed and schedule.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 when not queued
+	cancelled bool
+}
+
+// Time returns the virtual time at which the event fires.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// It is not safe for concurrent use; all event callbacks run on the
+// goroutine that calls Run.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	// Processed counts events that have fired.
+	Processed uint64
+}
+
+// New returns an engine positioned at virtual time zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule queues fn to run after delay. A negative delay is an error in
+// the caller; it is clamped to zero so time never runs backwards.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t. Times before the current
+// time are clamped to now.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("des: nil event callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Run fires events in time order until the queue is empty or Stop is
+// called. It returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	return e.RunUntil(-1)
+}
+
+// RunUntil fires events whose time is <= deadline (a deadline < 0 means
+// run to exhaustion). Time advances to the deadline if events run out
+// earlier and deadline >= 0.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		if next.at < e.now {
+			panic(fmt.Sprintf("des: time went backwards: %v -> %v", e.now, next.at))
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step fires exactly one event (skipping cancelled ones) and reports
+// whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.Processed++
+		next.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3*time.Second, func() { got = append(got, 3) })
+	e.Schedule(1*time.Second, func() { got = append(got, 1) })
+	e.Schedule(2*time.Second, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != 3*time.Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameTime(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, e.Now())
+		if len(times) < 5 {
+			e.Schedule(time.Second, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if len(times) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(times))
+	}
+	for i, at := range times {
+		if at != time.Duration(i)*time.Second {
+			t.Fatalf("tick %d at %v, want %v", i, at, time.Duration(i)*time.Second)
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() { count++ })
+	}
+	e.RunUntil(5 * time.Second)
+	if count != 5 {
+		t.Fatalf("fired %d events by t=5s, want 5", count)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", e.Now())
+	}
+	e.RunUntil(20 * time.Second)
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+	if e.Now() != 20*time.Second {
+		t.Fatalf("Now() advanced to %v, want deadline 20s", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events, want 3 (stopped)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := New()
+	e.Schedule(time.Second, func() {
+		// From t=1s, a negative delay must fire "now", not in the past.
+		e.Schedule(-5*time.Second, func() {
+			if e.Now() != time.Second {
+				t.Errorf("clamped event fired at %v, want 1s", e.Now())
+			}
+		})
+	})
+	e.Run()
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	count := 0
+	e.Schedule(time.Second, func() { count++ })
+	e.Schedule(2*time.Second, func() { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with events pending")
+	}
+	if count != 1 || e.Now() != time.Second {
+		t.Fatalf("after one step: count=%d now=%v", count, e.Now())
+	}
+	if !e.Step() {
+		t.Fatal("Step returned false with one event pending")
+	}
+	if e.Step() {
+		t.Fatal("Step returned true with no events pending")
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine's final time equals the maximum delay.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := New()
+		var fired []time.Duration
+		for _, r := range raw {
+			d := time.Duration(r) * time.Millisecond
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		var max time.Duration
+		for _, r := range raw {
+			if d := time.Duration(r) * time.Millisecond; d > max {
+				max = d
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random interleaving of scheduling and cancellation never fires
+// a cancelled event and fires every non-cancelled one exactly once.
+func TestQuickCancellation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		total := int(n%64) + 1
+		firedCount := make([]int, total)
+		events := make([]*Event, total)
+		cancelled := make([]bool, total)
+		for i := 0; i < total; i++ {
+			i := i
+			events[i] = e.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond,
+				func() { firedCount[i]++ })
+		}
+		for i := 0; i < total; i++ {
+			if rng.Intn(2) == 0 {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < total; i++ {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if firedCount[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSchedule(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Duration(i), func() {})
+	}
+	e.Run()
+}

@@ -1,0 +1,92 @@
+package livebench
+
+import (
+	"testing"
+
+	"repro/internal/ec2"
+)
+
+// TestLiveThrottledSmarthWins moves real bytes (16 MB) through shaped
+// pipelines: with a 100 Mbps cross-rack throttle, warmed SMARTH must beat
+// HDFS on the live stack, mirroring the simulator's prediction.
+func TestLiveThrottledSmarthWins(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live shaped run (~3s) skipped in -short mode")
+	}
+	out, err := Run(Config{
+		Preset:        ec2.SmallCluster,
+		CrossRackMbps: 100,
+		FileBytes:     16 << 20,
+		BlockSize:     512 << 10,
+		PacketSize:    64 << 10,
+		Seed:          3,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live: HDFS %v, SMARTH cold %v, SMARTH warm %v (improvement %.0f%%)",
+		out.HDFS, out.SmarthCold, out.Smarth, out.Improvement()*100)
+	if out.HDFS <= 0 || out.Smarth <= 0 || out.SmarthCold <= 0 {
+		t.Fatalf("missing measurements: %+v", out)
+	}
+	if out.Improvement() < 0.10 {
+		t.Errorf("live warmed SMARTH improvement = %.0f%%, want >= 10%% under 100Mbps throttle", out.Improvement()*100)
+	}
+}
+
+func TestLiveUnthrottledParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run skipped in -short mode")
+	}
+	// Without throttling, both protocols land in the same ballpark (the
+	// paper's Figure 5a claim). Bound SMARTH's overhead at 2x.
+	out, err := Run(Config{
+		Preset:     ec2.SmallCluster,
+		FileBytes:  8 << 20,
+		BlockSize:  512 << 10,
+		PacketSize: 64 << 10,
+		Seed:       4,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live unthrottled: HDFS %v, SMARTH %v", out.HDFS, out.Smarth)
+	if out.Smarth > 2*out.HDFS {
+		t.Errorf("unthrottled SMARTH (%v) more than 2x HDFS (%v)", out.Smarth, out.HDFS)
+	}
+}
+
+// TestRecoveryOverhead costs the fault-tolerance path: a datanode dies
+// halfway through a SMARTH upload; the upload must complete with intact
+// data, recoveries recorded, and bounded slowdown.
+func TestRecoveryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live run skipped in -short mode")
+	}
+	out, err := RunFault(Config{
+		Preset:     ec2.SmallCluster,
+		FileBytes:  16 << 20,
+		BlockSize:  512 << 10,
+		PacketSize: 64 << 10,
+		Seed:       6,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("clean %v, with mid-upload crash of %s: %v (overhead %.0f%%, %d recoveries)",
+		out.Clean, out.Victim, out.WithFault, out.Overhead()*100, out.Recoveries)
+	if out.Victim == "" {
+		t.Fatal("no victim was killed")
+	}
+	if out.WithFault < out.Clean/2 {
+		t.Fatalf("faulted run (%v) implausibly fast vs clean (%v)", out.WithFault, out.Clean)
+	}
+	// Generous bound: a single crash must not blow the upload up by more
+	// than 5x on an unthrottled in-memory cluster.
+	if out.WithFault > 5*out.Clean {
+		t.Fatalf("recovery overhead too large: clean %v, faulted %v", out.Clean, out.WithFault)
+	}
+}

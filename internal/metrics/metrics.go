@@ -1,0 +1,75 @@
+// Package metrics provides the small result-aggregation and text-table
+// utilities the benchmark harness uses to print paper-style tables.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as "123.4s".
+func Seconds(d time.Duration) string { return fmt.Sprintf("%.1fs", d.Seconds()) }
+
+// Pct formats a ratio as a percentage, e.g. 1.30 -> "130%".
+func Pct(ratio float64) string { return fmt.Sprintf("%.0f%%", ratio*100) }
+
+// MBps formats a throughput.
+func MBps(v float64) string { return fmt.Sprintf("%.1f MB/s", v) }
+
+// GB formats a byte count in gigabytes.
+func GB(bytes int64) string { return fmt.Sprintf("%dGB", bytes>>30) }

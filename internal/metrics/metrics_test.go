@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("My Title", "name", "value")
+	tb.Add("short", "1")
+	tb.Add("a-much-longer-name", "22")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "My Title" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Header, separator and rows must all start their second column at
+	// the same offset: first-column width plus the two-space gap.
+	width := len("a-much-longer-name")
+	for _, ln := range lines[1:] {
+		if len(ln) <= width+2 {
+			t.Fatalf("line %q too short for second column", ln)
+		}
+		if ln[width:width+2] != "  " || ln[width+2] == ' ' {
+			t.Fatalf("misaligned line %q (second column should start at %d)", ln, width+2)
+		}
+	}
+	if !strings.Contains(out, "----") {
+		t.Fatal("separator row missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("empty title produced a leading blank line")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Seconds(90 * time.Second); got != "90.0s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Pct(1.304); got != "130%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := MBps(27.25); got != "27.2 MB/s" && got != "27.3 MB/s" {
+		t.Fatalf("MBps = %q", got)
+	}
+	if got := GB(8 << 30); got != "8GB" {
+		t.Fatalf("GB = %q", got)
+	}
+}

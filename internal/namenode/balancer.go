@@ -1,0 +1,137 @@
+package namenode
+
+import (
+	"sort"
+
+	"repro/internal/block"
+	"repro/internal/nnapi"
+)
+
+// The balancer evens out disk usage: replicas move from datanodes whose
+// utilization sits above the cluster mean (plus a threshold) to nodes
+// below it. A move is a normal replicate command to the over-full node;
+// once the target reports the new replica, the source's copy is
+// invalidated — copy-then-delete, so redundancy never drops.
+
+// pendingMove tracks a balancer transfer awaiting its blockReceived.
+type pendingMove struct {
+	source string
+	target string
+	gen    block.GenStamp
+}
+
+// Balance computes one round of balancing moves and queues them on the
+// source datanodes' heartbeats.
+func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
+	if req.Threshold <= 0 {
+		req.Threshold = 0.1
+	}
+	if req.MaxMoves <= 0 {
+		req.MaxMoves = 16
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+
+	type usage struct {
+		name string
+		used int64
+	}
+	var nodes []usage
+	var total int64
+	for _, name := range nn.dm.placeableNames() {
+		e := nn.dm.nodes[name]
+		nodes = append(nodes, usage{name: name, used: e.usedBytes})
+		total += e.usedBytes
+	}
+	if len(nodes) < 2 {
+		return nnapi.BalanceResp{}, nil
+	}
+	mean := total / int64(len(nodes))
+	resp := nnapi.BalanceResp{MeanBytes: mean}
+	if mean == 0 {
+		return resp, nil
+	}
+	over := int64(float64(mean) * (1 + req.Threshold))
+	under := int64(float64(mean) * (1 - req.Threshold))
+
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].used > nodes[j].used })
+	// Receivers, least-utilized first.
+	var receivers []usage
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].used < under {
+			receivers = append(receivers, nodes[i])
+		}
+	}
+	if len(receivers) == 0 {
+		return resp, nil
+	}
+
+	// Index blocks by holder for the donors we will touch.
+	blocksOn := make(map[string][]*blockMeta)
+	for _, meta := range nn.ns.blocks {
+		f := nn.ns.files[meta.path]
+		if f == nil || !f.complete {
+			continue
+		}
+		for holder := range meta.locations {
+			blocksOn[holder] = append(blocksOn[holder], meta)
+		}
+	}
+	for _, metas := range blocksOn {
+		sort.Slice(metas, func(i, j int) bool { return metas[i].cur.ID < metas[j].cur.ID })
+	}
+
+	ri := 0
+	for _, donor := range nodes {
+		if donor.used <= over || resp.Moves >= req.MaxMoves {
+			continue
+		}
+		for _, meta := range blocksOn[donor.name] {
+			if resp.Moves >= req.MaxMoves {
+				break
+			}
+			if _, busy := nn.balancerMoves[meta.cur.ID]; busy {
+				continue
+			}
+			// Find a receiver that doesn't already hold this block.
+			var target string
+			for probe := 0; probe < len(receivers); probe++ {
+				cand := receivers[(ri+probe)%len(receivers)]
+				if !meta.locations[cand.name] {
+					target = cand.name
+					ri = (ri + probe + 1) % len(receivers)
+					break
+				}
+			}
+			if target == "" {
+				continue
+			}
+			info, ok := nn.dm.lookup(target)
+			if !ok {
+				continue
+			}
+			nn.balancerMoves[meta.cur.ID] = pendingMove{source: donor.name, target: target, gen: meta.cur.Gen}
+			nn.repl.queue[donor.name] = append(nn.repl.queue[donor.name], nnapi.ReplicateCmd{
+				Block:   meta.cur,
+				Targets: []block.DatanodeInfo{info},
+			})
+			resp.Moves++
+		}
+	}
+	return resp, nil
+}
+
+// completeBalancerMove is called (with the lock held) from BlockReceived:
+// if this report finishes a balancer move, the source replica is
+// invalidated.
+func (nn *Namenode) completeBalancerMove(dn string, b block.Block) {
+	move, ok := nn.balancerMoves[b.ID]
+	if !ok || move.target != dn || move.gen != b.Gen {
+		return
+	}
+	delete(nn.balancerMoves, b.ID)
+	if meta, ok := nn.ns.blocks[b.ID]; ok {
+		delete(meta.locations, move.source)
+	}
+	nn.dm.scheduleInvalidate(move.source, b.ID, b.Gen)
+}

@@ -1,0 +1,165 @@
+package namenode
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// DefaultExpiry is how long after the last heartbeat a datanode is
+// considered dead. HDFS uses 10 minutes; the reproduction defaults to a
+// few heartbeat intervals so fault tests converge quickly.
+const DefaultExpiry = 5 * core.HeartbeatInterval
+
+// dnEntry is the namenode's view of one datanode.
+type dnEntry struct {
+	info      block.DatanodeInfo
+	lastBeat  time.Time
+	usedBytes int64
+	// decommissioning nodes keep serving reads and sourcing transfers
+	// but receive no new pipelines.
+	decommissioning bool
+	// invalidate maps block ID to the highest stale generation scheduled
+	// for deletion; drained by heartbeats.
+	invalidate map[block.ID]block.GenStamp
+}
+
+// datanodeManager tracks registration, liveness and invalidation work.
+// All methods are called with the namenode lock held.
+type datanodeManager struct {
+	clk    clock.Clock
+	expiry time.Duration
+	topo   *topology.Topology
+	nodes  map[string]*dnEntry
+}
+
+func newDatanodeManager(clk clock.Clock, expiry time.Duration) *datanodeManager {
+	if expiry <= 0 {
+		expiry = DefaultExpiry
+	}
+	return &datanodeManager{
+		clk:    clk,
+		expiry: expiry,
+		topo:   topology.New(),
+		nodes:  make(map[string]*dnEntry),
+	}
+}
+
+func (m *datanodeManager) register(info block.DatanodeInfo) *dnEntry {
+	e := m.nodes[info.Name]
+	if e == nil {
+		e = &dnEntry{invalidate: make(map[block.ID]block.GenStamp)}
+		m.nodes[info.Name] = e
+	}
+	e.info = info
+	e.lastBeat = m.clk.Now()
+	m.topo.Add(info.Name, info.Rack)
+	return e
+}
+
+func (m *datanodeManager) heartbeat(name string, used int64) (invalidate []block.Block, known bool) {
+	e := m.nodes[name]
+	if e == nil {
+		return nil, false
+	}
+	e.lastBeat = m.clk.Now()
+	e.usedBytes = used
+	if len(e.invalidate) > 0 {
+		invalidate = make([]block.Block, 0, len(e.invalidate))
+		for id, gen := range e.invalidate {
+			invalidate = append(invalidate, block.Block{ID: id, Gen: gen})
+		}
+		sort.Slice(invalidate, func(i, j int) bool { return invalidate[i].ID < invalidate[j].ID })
+		e.invalidate = make(map[block.ID]block.GenStamp)
+	}
+	return invalidate, true
+}
+
+func (m *datanodeManager) isAlive(e *dnEntry) bool {
+	return m.clk.Now().Sub(e.lastBeat) < m.expiry
+}
+
+// alive returns live datanodes sorted by name.
+func (m *datanodeManager) alive() []block.DatanodeInfo {
+	out := make([]block.DatanodeInfo, 0, len(m.nodes))
+	for _, e := range m.nodes {
+		if m.isAlive(e) {
+			out = append(out, e.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// aliveNames returns live datanode names sorted.
+func (m *datanodeManager) aliveNames() []string {
+	infos := m.alive()
+	out := make([]string, len(infos))
+	for i, d := range infos {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// placeableNames returns live datanodes eligible for new replicas (live
+// and not decommissioning), sorted.
+func (m *datanodeManager) placeableNames() []string {
+	out := make([]string, 0, len(m.nodes))
+	for name, e := range m.nodes {
+		if m.isAlive(e) && !e.decommissioning {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// setDecommissioning flips a node's drain state; unknown nodes error.
+func (m *datanodeManager) setDecommissioning(name string, on bool) bool {
+	e, ok := m.nodes[name]
+	if !ok {
+		return false
+	}
+	e.decommissioning = on
+	return true
+}
+
+// isDecommissioning reports the drain state.
+func (m *datanodeManager) isDecommissioning(name string) bool {
+	e, ok := m.nodes[name]
+	return ok && e.decommissioning
+}
+
+// lookup resolves a datanode by name regardless of liveness.
+func (m *datanodeManager) lookup(name string) (block.DatanodeInfo, bool) {
+	e, ok := m.nodes[name]
+	if !ok {
+		return block.DatanodeInfo{}, false
+	}
+	return e.info, true
+}
+
+// scheduleInvalidate queues deletion of a datanode's replica of the block
+// at or below the given stale generation.
+func (m *datanodeManager) scheduleInvalidate(name string, id block.ID, staleGen block.GenStamp) {
+	if e, ok := m.nodes[name]; ok {
+		if old, exists := e.invalidate[id]; !exists || staleGen > old {
+			e.invalidate[id] = staleGen
+		}
+	}
+}
+
+// numRacks counts racks among live nodes.
+func (m *datanodeManager) numRacks() int {
+	racks := make(map[string]bool)
+	for _, e := range m.nodes {
+		if m.isAlive(e) {
+			racks[e.info.Rack] = true
+		}
+	}
+	return len(racks)
+}

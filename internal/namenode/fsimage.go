@@ -1,0 +1,117 @@
+package namenode
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+)
+
+// The fsimage is the namenode's persistent namespace checkpoint: files,
+// their blocks, and the ID/generation counters. Replica locations are
+// deliberately NOT persisted — exactly like HDFS, they are soft state
+// rebuilt from datanode block reports after a restart.
+
+// imageVersion guards against loading incompatible checkpoints.
+const imageVersion = 1
+
+type imageBlock struct {
+	ID       int64  `json:"id"`
+	Gen      uint64 `json:"gen"`
+	NumBytes int64  `json:"bytes"`
+}
+
+type imageFile struct {
+	Path        string       `json:"path"`
+	Client      string       `json:"client,omitempty"`
+	Replication int          `json:"replication"`
+	BlockSize   int64        `json:"blockSize"`
+	Complete    bool         `json:"complete"`
+	Blocks      []imageBlock `json:"blocks"`
+}
+
+type image struct {
+	Version   int         `json:"version"`
+	NextBlock int64       `json:"nextBlock"`
+	NextGen   uint64      `json:"nextGen"`
+	Files     []imageFile `json:"files"`
+}
+
+// SaveImage writes a namespace checkpoint.
+func (nn *Namenode) SaveImage(w io.Writer) error {
+	nn.mu.Lock()
+	img := image{
+		Version:   imageVersion,
+		NextBlock: int64(nn.ns.nextBlock),
+		NextGen:   uint64(nn.ns.nextGen),
+	}
+	for _, f := range nn.ns.list("") {
+		imf := imageFile{
+			Path:        f.path,
+			Client:      f.client,
+			Replication: f.replication,
+			BlockSize:   f.blockSize,
+			Complete:    f.complete,
+		}
+		for _, id := range f.blocks {
+			meta := nn.ns.blocks[id]
+			imf.Blocks = append(imf.Blocks, imageBlock{
+				ID:       int64(meta.cur.ID),
+				Gen:      uint64(meta.cur.Gen),
+				NumBytes: meta.cur.NumBytes,
+			})
+		}
+		img.Files = append(img.Files, imf)
+	}
+	nn.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(img)
+}
+
+// LoadImage restores a checkpoint into an empty namenode. Leases of
+// under-construction files restart from load time, so a writer that
+// survived the namenode restart keeps its lease as long as it heartbeats.
+func (nn *Namenode) LoadImage(r io.Reader) error {
+	var img image
+	if err := json.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("namenode: decode image: %w", err)
+	}
+	if img.Version != imageVersion {
+		return fmt.Errorf("namenode: image version %d, want %d", img.Version, imageVersion)
+	}
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if len(nn.ns.files) != 0 {
+		return fmt.Errorf("namenode: refusing to load an image into a non-empty namespace (%d files)", len(nn.ns.files))
+	}
+	now := nn.clk.Now()
+	for _, imf := range img.Files {
+		f := &fileInode{
+			path:        imf.Path,
+			client:      imf.Client,
+			replication: imf.Replication,
+			blockSize:   imf.BlockSize,
+			complete:    imf.Complete,
+			renewed:     now,
+		}
+		for _, ib := range imf.Blocks {
+			id := block.ID(ib.ID)
+			f.blocks = append(f.blocks, id)
+			nn.ns.blocks[id] = &blockMeta{
+				cur:       block.Block{ID: id, Gen: block.GenStamp(ib.Gen), NumBytes: ib.NumBytes},
+				path:      imf.Path,
+				locations: make(map[string]bool),
+			}
+		}
+		nn.ns.files[imf.Path] = f
+	}
+	nn.ns.nextBlock = block.ID(img.NextBlock)
+	nn.ns.nextGen = block.GenStamp(img.NextGen)
+	// Replica locations are unknown until datanodes report: enter safe
+	// mode (namespace mutations rejected) if the image holds any blocks.
+	nn.safeMode = len(nn.ns.blocks) > 0
+	return nil
+}

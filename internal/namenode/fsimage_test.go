@@ -1,0 +1,164 @@
+package namenode
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/nnapi"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	nn, _, _ := newTestNN(t)
+	completeFileWithReplicas(t, nn, "/img/a", [][]string{
+		{"dn1", "dn2", "dn3"},
+		{"dn4", "dn5", "dn6"},
+	})
+	// Also an under-construction file.
+	nn.Create(nnapi.CreateReq{Path: "/img/open", Client: "writer", Replication: 2, BlockSize: 1 << 20})
+	nn.AddBlock(nnapi.AddBlockReq{Path: "/img/open", Client: "writer"})
+
+	var buf bytes.Buffer
+	if err := nn.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a fresh namenode.
+	nn2 := New(Options{Clock: newTestClock(), Seed: 42})
+	if err := nn2.LoadImage(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	info, _ := nn2.GetFileInfo(nnapi.GetFileInfoReq{Path: "/img/a"})
+	if !info.Exists || !info.Complete || info.Len != 200 || info.NumBlocks != 2 {
+		t.Fatalf("restored file info = %+v", info)
+	}
+	open, _ := nn2.GetFileInfo(nnapi.GetFileInfoReq{Path: "/img/open"})
+	if !open.Exists || open.Complete || open.NumBlocks != 1 {
+		t.Fatalf("restored open file = %+v", open)
+	}
+
+	// Locations are soft state: empty until datanodes re-report.
+	locs, _ := nn2.GetBlockLocations(nnapi.GetBlockLocationsReq{Path: "/img/a"})
+	for _, lb := range locs.Blocks {
+		if len(lb.Targets) != 0 {
+			t.Fatalf("locations persisted: %v", lb.Names())
+		}
+	}
+	// A register with a block report repopulates them.
+	nn2.Register(nnapi.RegisterReq{
+		Name: "dn1", Addr: "mem://dn1", Rack: "/rack-a",
+		Blocks: []block.Block{{ID: locs.Blocks[0].Block.ID, Gen: locs.Blocks[0].Block.Gen, NumBytes: 100}},
+	})
+	locs, _ = nn2.GetBlockLocations(nnapi.GetBlockLocationsReq{Path: "/img/a"})
+	if len(locs.Blocks[0].Targets) != 1 {
+		t.Fatalf("block report did not restore locations: %v", locs.Blocks[0].Names())
+	}
+
+	// Counters restored: the next allocated block must not collide.
+	// (First leave safe mode by reporting replicas for every restored
+	// block — the remaining /img/a block and /img/open's block.)
+	nn2.Register(nnapi.RegisterReq{Name: "dn9", Addr: "mem://dn9", Rack: "/rack-b"})
+	rep2 := locs.Blocks[1].Block
+	rep2.NumBytes = 100
+	nn2.BlockReceived(nnapi.BlockReceivedReq{Name: "dn9", Block: rep2})
+	openLocs, _ := nn2.GetBlockLocations(nnapi.GetBlockLocationsReq{Path: "/img/open"})
+	openRep := openLocs.Blocks[0].Block
+	nn2.BlockReceived(nnapi.BlockReceivedReq{Name: "dn9", Block: openRep})
+	nn2.Create(nnapi.CreateReq{Path: "/img/new", Client: "c", Replication: 1, BlockSize: 1 << 20})
+	resp, err := nn2.AddBlock(nnapi.AddBlockReq{Path: "/img/new", Client: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Located.Block.ID <= locs.Blocks[0].Block.ID {
+		t.Fatalf("block ID counter regressed: new %d vs old %d", resp.Located.Block.ID, locs.Blocks[0].Block.ID)
+	}
+}
+
+func TestLoadImageValidation(t *testing.T) {
+	nn, _, _ := newTestNN(t)
+	// Garbage input.
+	if err := nn.LoadImage(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage image accepted")
+	}
+	// Wrong version.
+	if err := nn.LoadImage(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("wrong-version image accepted")
+	}
+	// Non-empty namespace refuses a load.
+	completeFileWithReplicas(t, nn, "/existing", [][]string{{"dn1"}})
+	if err := nn.LoadImage(strings.NewReader(`{"version": 1}`)); err == nil {
+		t.Fatal("load into non-empty namespace accepted")
+	}
+}
+
+func TestSafeModeAfterImageLoad(t *testing.T) {
+	// Build a namespace with replicated blocks, checkpoint it, restore.
+	nn, _, _ := newTestNN(t)
+	completeFileWithReplicas(t, nn, "/sm", [][]string{{"dn1"}, {"dn2"}})
+	var buf bytes.Buffer
+	if err := nn.SaveImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	nn2 := New(Options{Clock: newTestClock(), Seed: 1})
+	if err := nn2.LoadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nn2.Register(nnapi.RegisterReq{Name: "dn9", Addr: "mem://dn9", Rack: "/r"})
+
+	// Mutations are rejected while blocks lack reported replicas.
+	if _, err := nn2.Create(nnapi.CreateReq{Path: "/new", Client: "c", Replication: 1, BlockSize: 1 << 20}); !errors.Is(err, ErrSafeMode) {
+		t.Fatalf("create in safe mode err = %v", err)
+	}
+	if _, err := nn2.Delete(nnapi.DeleteReq{Path: "/sm"}); !errors.Is(err, ErrSafeMode) {
+		t.Fatalf("delete in safe mode err = %v", err)
+	}
+	// Reads still work.
+	if info, err := nn2.GetFileInfo(nnapi.GetFileInfoReq{Path: "/sm"}); err != nil || !info.Exists {
+		t.Fatalf("read in safe mode: %+v, %v", info, err)
+	}
+	ci, _ := nn2.ClusterInfo(nnapi.ClusterInfoReq{})
+	if !ci.SafeMode {
+		t.Fatal("ClusterInfo does not report safe mode")
+	}
+
+	// Report one of the two blocks: still in safe mode.
+	locs, _ := nn2.GetBlockLocations(nnapi.GetBlockLocationsReq{Path: "/sm"})
+	b0 := locs.Blocks[0].Block
+	b0.NumBytes = 100
+	nn2.BlockReceived(nnapi.BlockReceivedReq{Name: "dn9", Block: b0})
+	if _, err := nn2.Create(nnapi.CreateReq{Path: "/new", Client: "c", Replication: 1, BlockSize: 1 << 20}); !errors.Is(err, ErrSafeMode) {
+		t.Fatalf("create with partial reports err = %v", err)
+	}
+	// Report the second: safe mode exits and writes flow.
+	b1 := locs.Blocks[1].Block
+	b1.NumBytes = 100
+	nn2.BlockReceived(nnapi.BlockReceivedReq{Name: "dn9", Block: b1})
+	if _, err := nn2.Create(nnapi.CreateReq{Path: "/new", Client: "c", Replication: 1, BlockSize: 1 << 20}); err != nil {
+		t.Fatalf("create after full reports: %v", err)
+	}
+	ci, _ = nn2.ClusterInfo(nnapi.ClusterInfoReq{})
+	if ci.SafeMode {
+		t.Fatal("safe mode did not clear")
+	}
+}
+
+func TestFreshNamenodeNotInSafeMode(t *testing.T) {
+	nn := New(Options{Clock: newTestClock(), Seed: 1})
+	nn.Register(nnapi.RegisterReq{Name: "dn1", Addr: "a", Rack: "/r"})
+	if _, err := nn.Create(nnapi.CreateReq{Path: "/f", Client: "c", Replication: 1, BlockSize: 1 << 20}); err != nil {
+		t.Fatalf("fresh namenode rejected create: %v", err)
+	}
+	// An empty image also starts out of safe mode.
+	nn2 := New(Options{Clock: newTestClock(), Seed: 2})
+	if err := nn2.LoadImage(strings.NewReader(`{"version":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	nn2.Register(nnapi.RegisterReq{Name: "dn1", Addr: "a", Rack: "/r"})
+	if _, err := nn2.Create(nnapi.CreateReq{Path: "/f", Client: "c", Replication: 1, BlockSize: 1 << 20}); err != nil {
+		t.Fatalf("empty-image namenode rejected create: %v", err)
+	}
+}

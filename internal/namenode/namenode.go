@@ -1,0 +1,491 @@
+// Package namenode implements the cluster's metadata server: the
+// namespace (files and blocks), datanode liveness tracking, replica
+// placement — both HDFS's default topology policy and SMARTH's
+// Algorithm 1 global optimization — and the RPC surface defined in
+// package nnapi.
+package namenode
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+// DefaultLeaseTimeout is how long an under-construction file survives
+// without any sign of life from its writer before the namenode recovers
+// the lease (HDFS's soft limit is 60 s).
+const DefaultLeaseTimeout = time.Minute
+
+// Options configure a Namenode.
+type Options struct {
+	// Clock defaults to the system clock.
+	Clock clock.Clock
+	// Expiry is the datanode liveness window (DefaultExpiry when zero).
+	Expiry time.Duration
+	// LeaseTimeout is the writer-lease expiry window
+	// (DefaultLeaseTimeout when zero).
+	LeaseTimeout time.Duration
+	// Seed drives placement randomness; a fixed seed makes tests and
+	// simulations reproducible. Zero means seed from the system clock.
+	Seed int64
+}
+
+// Namenode is the metadata server. Create one with New, then Serve it on
+// a transport listener (or call its methods directly in-process, which is
+// what the discrete-event simulator does).
+type Namenode struct {
+	mu       sync.Mutex
+	clk      clock.Clock
+	ns       *namesystem
+	dm       *datanodeManager
+	registry *core.Registry
+	repl     *replicationManager
+	rng      *rand.Rand
+	leaseTTL time.Duration
+	// balancerMoves tracks in-flight balancer transfers by block ID.
+	balancerMoves map[block.ID]pendingMove
+	// safeMode blocks namespace mutations after a restart until enough
+	// blocks have at least one reported replica (like HDFS startup).
+	safeMode bool
+
+	defaultPolicy *defaultPlacement
+	smarthPolicy  *smarthPlacement
+
+	server *rpc.Server
+}
+
+// New constructs a namenode.
+func New(opts Options) *Namenode {
+	clk := opts.Clock
+	if clk == nil {
+		clk = clock.System
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = clk.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dm := newDatanodeManager(clk, opts.Expiry)
+	registry := core.NewRegistry()
+	dp := &defaultPlacement{dm: dm, rng: rng}
+	leaseTTL := opts.LeaseTimeout
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTimeout
+	}
+	nn := &Namenode{
+		clk:           clk,
+		ns:            newNamesystem(),
+		dm:            dm,
+		registry:      registry,
+		repl:          newReplicationManager(dm.expiry),
+		rng:           rng,
+		leaseTTL:      leaseTTL,
+		balancerMoves: make(map[block.ID]pendingMove),
+		defaultPolicy: dp,
+		smarthPolicy:  &smarthPlacement{dm: dm, registry: registry, rng: rng, fallback: dp},
+	}
+	return nn
+}
+
+// Registry exposes the speed-record registry (used by tests and tools).
+func (nn *Namenode) Registry() *core.Registry { return nn.registry }
+
+// Serve runs the RPC server on l until the listener closes.
+func (nn *Namenode) Serve(l transport.Listener) {
+	s := rpc.NewServer()
+	rpc.Handle(s, nnapi.MethodCreate, nn.Create)
+	rpc.Handle(s, nnapi.MethodAddBlock, nn.AddBlock)
+	rpc.Handle(s, nnapi.MethodAbandonBlock, nn.AbandonBlock)
+	rpc.Handle(s, nnapi.MethodComplete, nn.Complete)
+	rpc.Handle(s, nnapi.MethodRecoverBlock, nn.RecoverBlock)
+	rpc.Handle(s, nnapi.MethodClientHeartbeat, nn.ClientHeartbeat)
+	rpc.Handle(s, nnapi.MethodGetBlockLocations, nn.GetBlockLocations)
+	rpc.Handle(s, nnapi.MethodGetFileInfo, nn.GetFileInfo)
+	rpc.Handle(s, nnapi.MethodClusterInfo, nn.ClusterInfo)
+	rpc.Handle(s, nnapi.MethodDelete, nn.Delete)
+	rpc.Handle(s, nnapi.MethodRename, nn.Rename)
+	rpc.Handle(s, nnapi.MethodList, nn.List)
+	rpc.Handle(s, nnapi.MethodRegister, nn.Register)
+	rpc.Handle(s, nnapi.MethodHeartbeat, nn.Heartbeat)
+	rpc.Handle(s, nnapi.MethodBlockReceived, nn.BlockReceived)
+	rpc.Handle(s, nnapi.MethodDecommission, nn.Decommission)
+	rpc.Handle(s, nnapi.MethodDecommStatus, nn.DecommissionStatus)
+	rpc.Handle(s, nnapi.MethodBalance, nn.Balance)
+	nn.mu.Lock()
+	nn.server = s
+	nn.mu.Unlock()
+	s.Serve(l)
+}
+
+// Close stops the RPC server if Serve was called.
+func (nn *Namenode) Close() {
+	nn.mu.Lock()
+	s := nn.server
+	nn.mu.Unlock()
+	if s != nil {
+		s.Close()
+	}
+}
+
+// --- ClientProtocol ---
+
+// checkSafeModeLocked recomputes and reports safe-mode state: the
+// namenode leaves safe mode once every known block has at least one
+// reported replica (or the namespace holds no blocks).
+func (nn *Namenode) checkSafeModeLocked() error {
+	if !nn.safeMode {
+		return nil
+	}
+	for _, meta := range nn.ns.blocks {
+		if len(meta.locations) == 0 {
+			return ErrSafeMode
+		}
+	}
+	nn.safeMode = false
+	return nil
+}
+
+// Create makes a new file in the namespace (write step 1).
+func (nn *Namenode) Create(req nnapi.CreateReq) (nnapi.CreateResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.checkSafeModeLocked(); err != nil {
+		return nnapi.CreateResp{}, err
+	}
+	if err := nn.ns.create(req.Path, req.Client, req.Replication, req.BlockSize, req.Overwrite); err != nil {
+		return nnapi.CreateResp{}, err
+	}
+	nn.ns.files[req.Path].renewed = nn.clk.Now()
+	return nnapi.CreateResp{}, nil
+}
+
+// AddBlock allocates the file's next block and chooses its pipeline with
+// the policy matching the requested write mode.
+func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.checkSafeModeLocked(); err != nil {
+		return nnapi.AddBlockResp{}, err
+	}
+	f, err := nn.ns.checkLease(req.Path, req.Client)
+	if err != nil {
+		return nnapi.AddBlockResp{}, err
+	}
+	f.renewed = nn.clk.Now()
+	targets, err := nn.policyFor(req.Mode).choose(req.Client, f.replication, req.Exclude)
+	if err != nil {
+		return nnapi.AddBlockResp{}, err
+	}
+	b := nn.ns.allocateBlock(f)
+	return nnapi.AddBlockResp{Located: block.LocatedBlock{Block: b, Targets: targets}}, nil
+}
+
+func (nn *Namenode) policyFor(mode proto.WriteMode) placement {
+	if mode == proto.ModeSmarth {
+		return nn.smarthPolicy
+	}
+	return nn.defaultPolicy
+}
+
+// AbandonBlock drops an allocated block that never received data.
+func (nn *Namenode) AbandonBlock(req nnapi.AbandonBlockReq) (nnapi.AbandonBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, err := nn.ns.checkLease(req.Path, req.Client)
+	if err != nil {
+		return nnapi.AbandonBlockResp{}, err
+	}
+	return nnapi.AbandonBlockResp{}, nn.ns.abandonBlock(f, req.Block)
+}
+
+// Complete finishes the file once every block is minimally replicated
+// (write step 6). Done=false asks the client to retry shortly, matching
+// HDFS's completeFile loop.
+func (nn *Namenode) Complete(req nnapi.CompleteReq) (nnapi.CompleteResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	done, err := nn.ns.complete(req.Path, req.Client)
+	return nnapi.CompleteResp{Done: done}, err
+}
+
+// RecoverBlock re-provisions a failed pipeline: bump the generation
+// stamp, schedule stale replicas for deletion, and build a fresh target
+// list (surviving nodes first, then replacements chosen by the current
+// policy).
+func (nn *Namenode) RecoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.checkSafeModeLocked(); err != nil {
+		return nnapi.RecoverBlockResp{}, err
+	}
+	f, err := nn.ns.checkLease(req.Path, req.Client)
+	if err != nil {
+		return nnapi.RecoverBlockResp{}, err
+	}
+	f.renewed = nn.clk.Now()
+	newBlock, stale, err := nn.ns.recoverBlock(f, req.Block)
+	if err != nil {
+		return nnapi.RecoverBlockResp{}, err
+	}
+	for _, dn := range stale {
+		nn.dm.scheduleInvalidate(dn, req.Block.ID, req.Block.Gen)
+	}
+
+	// Keep the surviving datanodes (they already hold partial data and
+	// proved reachable), then top up to the replication factor.
+	targets := make([]block.DatanodeInfo, 0, f.replication)
+	taken := make([]string, 0, len(req.Alive)+len(req.Exclude))
+	taken = append(taken, req.Exclude...)
+	aliveSet := make(map[string]bool, len(nn.dm.aliveNames()))
+	for _, n := range nn.dm.aliveNames() {
+		aliveSet[n] = true
+	}
+	for _, name := range req.Alive {
+		if info, ok := nn.dm.lookup(name); ok && aliveSet[name] && len(targets) < f.replication {
+			targets = append(targets, info)
+			taken = append(taken, name)
+		}
+	}
+	if missing := f.replication - len(targets); missing > 0 {
+		extra, err := nn.policyFor(req.Mode).choose(req.Client, missing, taken)
+		if err != nil && len(targets) == 0 {
+			return nnapi.RecoverBlockResp{}, fmt.Errorf("recover %v: %w", req.Block, err)
+		}
+		targets = append(targets, extra...)
+	}
+	return nnapi.RecoverBlockResp{Located: block.LocatedBlock{Block: newBlock, Targets: targets}}, nil
+}
+
+// ClientHeartbeat ingests a client's speed records (SMARTH §III-B) and
+// renews the client's write leases.
+func (nn *Namenode) ClientHeartbeat(req nnapi.ClientHeartbeatReq) (nnapi.ClientHeartbeatResp, error) {
+	nn.registry.Update(req.Client, req.Speeds)
+	nn.mu.Lock()
+	nn.ns.renewLeases(req.Client, nn.clk.Now())
+	nn.mu.Unlock()
+	return nnapi.ClientHeartbeatResp{}, nil
+}
+
+// GetBlockLocations returns each block of a file with the datanodes known
+// to hold finalized replicas. When the request names a client, holders
+// are ordered by network distance from it (node-local, then rack-local,
+// then remote), so readers prefer close replicas; otherwise the order is
+// stable by name.
+func (nn *Namenode) GetBlockLocations(req nnapi.GetBlockLocationsReq) (nnapi.GetBlockLocationsResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.ns.files[req.Path]
+	if !ok {
+		return nnapi.GetBlockLocationsResp{}, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
+	}
+	resp := nnapi.GetBlockLocationsResp{Len: nn.ns.fileLength(f)}
+	for _, id := range f.blocks {
+		meta := nn.ns.blocks[id]
+		lb := block.LocatedBlock{Block: meta.cur}
+		for _, name := range nn.dm.aliveNames() {
+			if meta.locations[name] {
+				info, _ := nn.dm.lookup(name)
+				lb.Targets = append(lb.Targets, info)
+			}
+		}
+		if req.Client != "" {
+			sort.SliceStable(lb.Targets, func(i, j int) bool {
+				return nn.dm.topo.Distance(req.Client, lb.Targets[i].Name) <
+					nn.dm.topo.Distance(req.Client, lb.Targets[j].Name)
+			})
+		}
+		resp.Blocks = append(resp.Blocks, lb)
+	}
+	return resp, nil
+}
+
+// Delete removes a file and schedules every replica for deletion.
+func (nn *Namenode) Delete(req nnapi.DeleteReq) (nnapi.DeleteResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.checkSafeModeLocked(); err != nil {
+		return nnapi.DeleteResp{}, err
+	}
+	stale, existed := nn.ns.deleteFile(req.Path)
+	for dn, blocks := range stale {
+		for _, b := range blocks {
+			nn.dm.scheduleInvalidate(dn, b.ID, b.Gen)
+		}
+	}
+	return nnapi.DeleteResp{Deleted: existed}, nil
+}
+
+// Rename moves a file in the namespace.
+func (nn *Namenode) Rename(req nnapi.RenameReq) (nnapi.RenameResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.checkSafeModeLocked(); err != nil {
+		return nnapi.RenameResp{}, err
+	}
+	return nnapi.RenameResp{}, nn.ns.rename(req.Src, req.Dst)
+}
+
+// List enumerates files under a path prefix with replication health.
+func (nn *Namenode) List(req nnapi.ListReq) (nnapi.ListResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	aliveSet := make(map[string]bool)
+	for _, n := range nn.dm.aliveNames() {
+		aliveSet[n] = true
+	}
+	var resp nnapi.ListResp
+	for _, f := range nn.ns.list(req.Prefix) {
+		st := nnapi.FileStatus{
+			Path:            f.path,
+			Len:             nn.ns.fileLength(f),
+			Replication:     f.replication,
+			Complete:        f.complete,
+			NumBlocks:       len(f.blocks),
+			MinLiveReplicas: -1,
+		}
+		for _, id := range f.blocks {
+			live := 0
+			for holder := range nn.ns.blocks[id].locations {
+				if aliveSet[holder] {
+					live++
+				}
+			}
+			if st.MinLiveReplicas < 0 || live < st.MinLiveReplicas {
+				st.MinLiveReplicas = live
+			}
+		}
+		if st.MinLiveReplicas < 0 {
+			st.MinLiveReplicas = 0
+		}
+		resp.Files = append(resp.Files, st)
+	}
+	return resp, nil
+}
+
+// GetFileInfo reports file metadata.
+func (nn *Namenode) GetFileInfo(req nnapi.GetFileInfoReq) (nnapi.GetFileInfoResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	f, ok := nn.ns.files[req.Path]
+	if !ok {
+		return nnapi.GetFileInfoResp{Exists: false}, nil
+	}
+	return nnapi.GetFileInfoResp{
+		Exists:      true,
+		Complete:    f.complete,
+		Len:         nn.ns.fileLength(f),
+		Replication: f.replication,
+		BlockSize:   f.blockSize,
+		NumBlocks:   len(f.blocks),
+	}, nil
+}
+
+// ClusterInfo reports live cluster geometry.
+func (nn *Namenode) ClusterInfo(nnapi.ClusterInfoReq) (nnapi.ClusterInfoResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	return nnapi.ClusterInfoResp{
+		ActiveDatanodes: len(nn.dm.aliveNames()),
+		Racks:           nn.dm.numRacks(),
+		SafeMode:        nn.checkSafeModeLocked() != nil,
+	}, nil
+}
+
+// --- AdminProtocol ---
+
+// Decommission starts (or cancels) draining a datanode: it is removed
+// from placement immediately and its blocks get copied elsewhere by the
+// replication scanner; it keeps serving reads and sourcing transfers.
+func (nn *Namenode) Decommission(req nnapi.DecommissionReq) (nnapi.DecommissionResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if !nn.dm.setDecommissioning(req.Name, !req.Cancel) {
+		return nnapi.DecommissionResp{}, fmt.Errorf("namenode: unknown datanode %q", req.Name)
+	}
+	// Kick the next scan so drain work starts on the next heartbeat.
+	nn.repl.lastScan = time.Time{}
+	return nnapi.DecommissionResp{}, nil
+}
+
+// DecommissionStatus reports how many blocks still depend on the node.
+func (nn *Namenode) DecommissionStatus(req nnapi.DecommStatusReq) (nnapi.DecommStatusResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	resp := nnapi.DecommStatusResp{Decommissioning: nn.dm.isDecommissioning(req.Name)}
+	placeable := make(map[string]bool)
+	for _, n := range nn.dm.placeableNames() {
+		placeable[n] = true
+	}
+	for _, f := range nn.ns.files {
+		for _, id := range f.blocks {
+			meta := nn.ns.blocks[id]
+			if !meta.locations[req.Name] {
+				continue
+			}
+			good := 0
+			for holder := range meta.locations {
+				if placeable[holder] {
+					good++
+				}
+			}
+			if good < f.replication {
+				resp.RemainingBlocks++
+			}
+		}
+	}
+	resp.Done = resp.Decommissioning && resp.RemainingBlocks == 0
+	return resp, nil
+}
+
+// --- DatanodeProtocol ---
+
+// Register announces a datanode and ingests its block report.
+func (nn *Namenode) Register(req nnapi.RegisterReq) (nnapi.RegisterResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	nn.dm.register(block.DatanodeInfo{Name: req.Name, Addr: req.Addr, Rack: req.Rack})
+	for _, b := range req.Blocks {
+		if err := nn.ns.blockReceived(req.Name, b); err != nil {
+			// Unknown or stale replica: have the datanode delete it.
+			nn.dm.scheduleInvalidate(req.Name, b.ID, b.Gen)
+		}
+	}
+	return nnapi.RegisterResp{}, nil
+}
+
+// Heartbeat refreshes liveness and drains invalidation work.
+func (nn *Namenode) Heartbeat(req nnapi.HeartbeatReq) (nnapi.HeartbeatResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	inv, known := nn.dm.heartbeat(req.Name, req.UsedBytes)
+	if !known {
+		return nnapi.HeartbeatResp{}, fmt.Errorf("namenode: heartbeat from unregistered datanode %q", req.Name)
+	}
+	return nnapi.HeartbeatResp{
+		Invalidate: inv,
+		Replicate:  nn.replicationWorkFor(req.Name),
+	}, nil
+}
+
+// BlockReceived records a finalized replica.
+func (nn *Namenode) BlockReceived(req nnapi.BlockReceivedReq) (nnapi.BlockReceivedResp, error) {
+	nn.mu.Lock()
+	defer nn.mu.Unlock()
+	if err := nn.ns.blockReceived(req.Name, req.Block); err != nil {
+		nn.dm.scheduleInvalidate(req.Name, req.Block.ID, req.Block.Gen)
+		return nnapi.BlockReceivedResp{}, err
+	}
+	nn.repl.satisfied(req.Block.ID)
+	nn.completeBalancerMove(req.Name, req.Block)
+	return nnapi.BlockReceivedResp{}, nil
+}

@@ -1,0 +1,282 @@
+package namenode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/block"
+)
+
+// Namespace errors.
+var (
+	ErrFileExists      = errors.New("namenode: file already exists")
+	ErrFileNotFound    = errors.New("namenode: file not found")
+	ErrLeaseViolation  = errors.New("namenode: file is leased by another client")
+	ErrFileComplete    = errors.New("namenode: file is already complete")
+	ErrUnknownBlock    = errors.New("namenode: unknown block")
+	ErrStaleGeneration = errors.New("namenode: stale block generation")
+	ErrSafeMode        = errors.New("namenode: in safe mode (block reports still incomplete)")
+)
+
+// fileInode is one entry in the namespace.
+type fileInode struct {
+	path        string
+	blocks      []block.ID
+	replication int
+	blockSize   int64
+	client      string // lease holder while under construction
+	complete    bool
+	// renewed is when the lease holder last showed a sign of life
+	// (create, addBlock, recoverBlock or a client heartbeat).
+	renewed time.Time
+}
+
+// blockMeta is the block manager's record for one block.
+type blockMeta struct {
+	cur       block.Block // authoritative generation and committed length
+	path      string
+	locations map[string]bool // datanode name -> holds a finalized replica
+}
+
+// namesystem is the namespace plus block manager. Methods are called with
+// the namenode lock held (mirroring FSNamesystem's global lock).
+type namesystem struct {
+	files     map[string]*fileInode
+	blocks    map[block.ID]*blockMeta
+	nextBlock block.ID
+	nextGen   block.GenStamp
+}
+
+func newNamesystem() *namesystem {
+	return &namesystem{
+		files:  make(map[string]*fileInode),
+		blocks: make(map[block.ID]*blockMeta),
+	}
+}
+
+func (ns *namesystem) create(path, client string, replication int, blockSize int64, overwrite bool) error {
+	if replication < 1 {
+		replication = 1
+	}
+	if blockSize <= 0 {
+		return fmt.Errorf("namenode: invalid block size %d", blockSize)
+	}
+	if old, exists := ns.files[path]; exists {
+		if !overwrite {
+			return fmt.Errorf("%w: %s", ErrFileExists, path)
+		}
+		ns.removeInode(old)
+	}
+	ns.files[path] = &fileInode{
+		path:        path,
+		replication: replication,
+		blockSize:   blockSize,
+		client:      client,
+	}
+	return nil
+}
+
+func (ns *namesystem) removeInode(f *fileInode) {
+	for _, id := range f.blocks {
+		delete(ns.blocks, id)
+	}
+	delete(ns.files, f.path)
+}
+
+// checkLease fetches an under-construction file owned by client.
+func (ns *namesystem) checkLease(path, client string) (*fileInode, error) {
+	f, ok := ns.files[path]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
+	}
+	if f.complete {
+		return nil, fmt.Errorf("%w: %s", ErrFileComplete, path)
+	}
+	if f.client != client {
+		return nil, fmt.Errorf("%w: %s held by %q, requested by %q", ErrLeaseViolation, path, f.client, client)
+	}
+	return f, nil
+}
+
+// allocateBlock appends a fresh block to the file.
+func (ns *namesystem) allocateBlock(f *fileInode) block.Block {
+	ns.nextBlock++
+	ns.nextGen++
+	b := block.Block{ID: ns.nextBlock, Gen: ns.nextGen}
+	f.blocks = append(f.blocks, b.ID)
+	ns.blocks[b.ID] = &blockMeta{
+		cur:       b,
+		path:      f.path,
+		locations: make(map[string]bool),
+	}
+	return b
+}
+
+// abandonBlock removes an allocated block from its file. Only the last
+// block may be abandoned, and only while it has no finalized replicas —
+// otherwise the caller should recover instead.
+func (ns *namesystem) abandonBlock(f *fileInode, b block.Block) error {
+	if len(f.blocks) == 0 || f.blocks[len(f.blocks)-1] != b.ID {
+		return fmt.Errorf("%w: %v is not the last block of %s", ErrUnknownBlock, b, f.path)
+	}
+	f.blocks = f.blocks[:len(f.blocks)-1]
+	delete(ns.blocks, b.ID)
+	return nil
+}
+
+// blockReceived records a finalized replica. Replicas with a stale
+// generation are rejected (the datanode will be told to delete them).
+func (ns *namesystem) blockReceived(dn string, b block.Block) error {
+	meta, ok := ns.blocks[b.ID]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownBlock, b)
+	}
+	if b.Gen != meta.cur.Gen {
+		return fmt.Errorf("%w: %v reported gen %d, current %d", ErrStaleGeneration, b, b.Gen, meta.cur.Gen)
+	}
+	meta.locations[dn] = true
+	if b.NumBytes > meta.cur.NumBytes {
+		meta.cur.NumBytes = b.NumBytes
+	}
+	return nil
+}
+
+// recoverBlock bumps the block's generation stamp and forgets replica
+// locations recorded under the old generation; surviving datanodes will
+// re-report after the client re-streams.
+func (ns *namesystem) recoverBlock(f *fileInode, b block.Block) (block.Block, []string, error) {
+	meta, ok := ns.blocks[b.ID]
+	if !ok || meta.path != f.path {
+		return block.Block{}, nil, fmt.Errorf("%w: %v", ErrUnknownBlock, b)
+	}
+	stale := make([]string, 0, len(meta.locations))
+	for dn := range meta.locations {
+		stale = append(stale, dn)
+	}
+	sort.Strings(stale)
+	ns.nextGen++
+	meta.cur.Gen = ns.nextGen
+	meta.cur.NumBytes = 0
+	meta.locations = make(map[string]bool)
+	return meta.cur, stale, nil
+}
+
+// complete finalizes the file when every block has at least one
+// finalized replica (HDFS's minimal-replication rule).
+func (ns *namesystem) complete(path, client string) (bool, error) {
+	f, err := ns.checkLease(path, client)
+	if err != nil {
+		if errors.Is(err, ErrFileComplete) {
+			return true, nil // idempotent completion
+		}
+		return false, err
+	}
+	for _, id := range f.blocks {
+		if len(ns.blocks[id].locations) == 0 {
+			return false, nil
+		}
+	}
+	f.complete = true
+	f.client = ""
+	return true, nil
+}
+
+// fileLength sums committed block lengths.
+func (ns *namesystem) fileLength(f *fileInode) int64 {
+	var total int64
+	for _, id := range f.blocks {
+		total += ns.blocks[id].cur.NumBytes
+	}
+	return total
+}
+
+// deleteFile removes a file, returning for each block the datanodes that
+// held replicas (so the caller can schedule invalidations). It reports
+// whether the file existed.
+func (ns *namesystem) deleteFile(path string) (stale map[string][]block.Block, existed bool) {
+	f, ok := ns.files[path]
+	if !ok {
+		return nil, false
+	}
+	stale = make(map[string][]block.Block)
+	for _, id := range f.blocks {
+		meta := ns.blocks[id]
+		for dn := range meta.locations {
+			stale[dn] = append(stale[dn], meta.cur)
+		}
+	}
+	ns.removeInode(f)
+	return stale, true
+}
+
+// rename moves a file. The destination must not exist.
+func (ns *namesystem) rename(src, dst string) error {
+	f, ok := ns.files[src]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrFileNotFound, src)
+	}
+	if _, exists := ns.files[dst]; exists {
+		return fmt.Errorf("%w: %s", ErrFileExists, dst)
+	}
+	delete(ns.files, src)
+	f.path = dst
+	ns.files[dst] = f
+	for _, id := range f.blocks {
+		ns.blocks[id].path = dst
+	}
+	return nil
+}
+
+// list returns files under a path prefix, sorted by path.
+func (ns *namesystem) list(prefix string) []*fileInode {
+	var out []*fileInode
+	for path, f := range ns.files {
+		if strings.HasPrefix(path, prefix) {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+// renewLeases refreshes every under-construction file held by client.
+func (ns *namesystem) renewLeases(client string, now time.Time) {
+	for _, f := range ns.files {
+		if !f.complete && f.client == client {
+			f.renewed = now
+		}
+	}
+}
+
+// expiredLeases returns under-construction files whose lease is older
+// than timeout.
+func (ns *namesystem) expiredLeases(now time.Time, timeout time.Duration) []*fileInode {
+	var out []*fileInode
+	for _, f := range ns.files {
+		if !f.complete && now.Sub(f.renewed) > timeout {
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+// recoverLease force-finalizes an abandoned file: blocks that never got a
+// finalized replica are dropped (the dead client's unflushed tail), the
+// rest are kept, and the file completes so other clients can use it.
+func (ns *namesystem) recoverLease(f *fileInode) {
+	kept := f.blocks[:0]
+	for _, id := range f.blocks {
+		if len(ns.blocks[id].locations) > 0 {
+			kept = append(kept, id)
+		} else {
+			delete(ns.blocks, id)
+		}
+	}
+	f.blocks = kept
+	f.complete = true
+	f.client = ""
+}

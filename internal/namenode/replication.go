@@ -1,0 +1,118 @@
+package namenode
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/nnapi"
+)
+
+// pendingReplicationTimeout is how long the namenode waits for a
+// commanded replication to produce a blockReceived before re-issuing it.
+const pendingReplicationTimeout = 30 * time.Second
+
+// replicationManager finds under-replicated blocks of complete files and
+// hands copy work to live replica holders through their heartbeats.
+// Methods run under the namenode lock.
+type replicationManager struct {
+	// pending maps block ID to when a replication command was issued.
+	pending map[block.ID]time.Time
+	// queue holds issued commands per source datanode, drained by that
+	// datanode's heartbeats.
+	queue map[string][]nnapi.ReplicateCmd
+	// lastScan rate-limits full scans.
+	lastScan time.Time
+	// scanEvery bounds scan frequency (a fraction of the expiry window
+	// so re-replication starts promptly after a death is detected).
+	scanEvery time.Duration
+}
+
+func newReplicationManager(expiry time.Duration) *replicationManager {
+	return &replicationManager{
+		pending:   make(map[block.ID]time.Time),
+		queue:     make(map[string][]nnapi.ReplicateCmd),
+		scanEvery: expiry / 4,
+	}
+}
+
+// satisfied clears the pending marker once a new replica arrived.
+func (rm *replicationManager) satisfied(id block.ID) { delete(rm.pending, id) }
+
+// replicationWorkFor runs a (rate-limited) scan for under-replicated
+// blocks, queueing copy commands on a live holder of each, then drains
+// the commands queued for dn. Namespaces in the reproduction are small,
+// so the O(blocks) scan cost is fine.
+func (nn *Namenode) replicationWorkFor(dn string) []nnapi.ReplicateCmd {
+	rm := nn.repl
+	now := nn.clk.Now()
+	// No maintenance while in safe mode: replica locations are still
+	// incomplete, so lease recovery could drop merely-unreported blocks
+	// and the replication scan would copy everything spuriously.
+	if nn.checkSafeModeLocked() == nil && now.Sub(rm.lastScan) >= rm.scanEvery {
+		rm.lastScan = now
+		nn.recoverExpiredLeases(now)
+		nn.scanUnderReplicated(now)
+	}
+	cmds := rm.queue[dn]
+	delete(rm.queue, dn)
+	return cmds
+}
+
+// recoverExpiredLeases force-finalizes files whose writer went silent for
+// longer than the lease timeout, so abandoned uploads neither hold the
+// namespace hostage nor leave permanently incomplete files.
+func (nn *Namenode) recoverExpiredLeases(now time.Time) {
+	for _, f := range nn.ns.expiredLeases(now, nn.leaseTTL) {
+		nn.ns.recoverLease(f)
+	}
+}
+
+func (nn *Namenode) scanUnderReplicated(now time.Time) {
+	rm := nn.repl
+	// A block counts as replicated only by placeable holders (live and
+	// not decommissioning); sources for copies may additionally be
+	// decommissioning nodes, which keep serving until drained.
+	placeable := make(map[string]bool)
+	for _, n := range nn.dm.placeableNames() {
+		placeable[n] = true
+	}
+	aliveSet := make(map[string]bool)
+	for _, n := range nn.dm.aliveNames() {
+		aliveSet[n] = true
+	}
+	for _, f := range nn.ns.files {
+		if !f.complete {
+			continue // under-construction blocks are the writer's job
+		}
+		for _, id := range f.blocks {
+			meta := nn.ns.blocks[id]
+			if issued, ok := rm.pending[id]; ok && now.Sub(issued) < pendingReplicationTimeout {
+				continue
+			}
+			var goodHolders, sourceHolders []string
+			for holder := range meta.locations {
+				if placeable[holder] {
+					goodHolders = append(goodHolders, holder)
+				}
+				if aliveSet[holder] {
+					sourceHolders = append(sourceHolders, holder)
+				}
+			}
+			missing := f.replication - len(goodHolders)
+			if missing <= 0 || len(sourceHolders) == 0 {
+				continue
+			}
+			sort.Strings(sourceHolders)
+			source := sourceHolders[0]
+			exclude := append([]string{}, goodHolders...)
+			exclude = append(exclude, sourceHolders...)
+			targets, err := nn.defaultPolicy.choose("", missing, exclude)
+			if err != nil || len(targets) == 0 {
+				continue // no capacity to restore replication yet
+			}
+			rm.pending[id] = now
+			rm.queue[source] = append(rm.queue[source], nnapi.ReplicateCmd{Block: meta.cur, Targets: targets})
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package netsim models a cluster network on the discrete-event engine.
+// Every constrained resource — a NIC transmit side, a NIC receive side, a
+// per-node cross-rack shaper (the paper's `tc` throttle), a disk — is a
+// FIFO rate server: a queue that serializes jobs at a fixed byte rate.
+// Contention between concurrent pipelines falls out of the queueing: two
+// flows sharing a NIC interleave packets through the same server and each
+// sees roughly half the bandwidth, matching how TCP flows share a link at
+// packet granularity.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/des"
+)
+
+// Server is a FIFO rate server: jobs are serialized at Rate bytes/second
+// in arrival order. A non-positive rate means infinite (no delay).
+type Server struct {
+	eng       *des.Engine
+	name      string
+	rate      float64 // bytes per second
+	busyUntil time.Duration
+	// Bytes is the total number of bytes served (for utilization stats).
+	Bytes int64
+}
+
+// NewServer returns a rate server bound to the engine.
+func NewServer(eng *des.Engine, name string, bytesPerSecond float64) *Server {
+	return &Server{eng: eng, name: name, rate: bytesPerSecond}
+}
+
+// Rate returns the server's byte rate (0 = infinite).
+func (s *Server) Rate() float64 { return s.rate }
+
+// SetRate changes the rate; queued jobs already scheduled keep their
+// completion times (rate changes apply to later arrivals).
+func (s *Server) SetRate(bytesPerSecond float64) { s.rate = bytesPerSecond }
+
+// Enqueue schedules a job of n bytes; done fires when the job finishes
+// serializing through this server.
+func (s *Server) Enqueue(n int64, done func()) {
+	now := s.eng.Now()
+	start := s.busyUntil
+	if start < now {
+		start = now
+	}
+	var dur time.Duration
+	if s.rate > 0 {
+		dur = time.Duration(float64(n) / s.rate * float64(time.Second))
+	}
+	s.busyUntil = start + dur
+	s.Bytes += n
+	s.eng.At(s.busyUntil, done)
+}
+
+// BusyUntil reports when the server's queue drains (for stats).
+func (s *Server) BusyUntil() time.Duration { return s.busyUntil }
+
+func (s *Server) String() string {
+	return fmt.Sprintf("server(%s, %.0f B/s)", s.name, s.rate)
+}
+
+// Node is one machine: NIC transmit/receive servers, an optional
+// cross-rack shaper pair, and a disk server.
+type Node struct {
+	Name string
+	Rack string
+	// Egress and Ingress model the full-duplex NIC.
+	Egress  *Server
+	Ingress *Server
+	// CrossOut and CrossIn, when non-nil, additionally shape traffic to
+	// and from other racks (tc on the rack uplink).
+	CrossOut *Server
+	CrossIn  *Server
+	// Disk serializes local replica writes (the paper's T_w source).
+	Disk *Server
+}
+
+// NewNode builds a node with the given NIC and disk rates (bytes/sec).
+func NewNode(eng *des.Engine, name, rack string, nicBps, diskBps float64) *Node {
+	return &Node{
+		Name:    name,
+		Rack:    rack,
+		Egress:  NewServer(eng, name+"/tx", nicBps),
+		Ingress: NewServer(eng, name+"/rx", nicBps),
+		Disk:    NewServer(eng, name+"/disk", diskBps),
+	}
+}
+
+// SetCrossRackLimit installs (or removes, with bps <= 0) the node's
+// cross-rack shaper.
+func (n *Node) SetCrossRackLimit(eng *des.Engine, bps float64) {
+	if bps <= 0 {
+		n.CrossOut, n.CrossIn = nil, nil
+		return
+	}
+	n.CrossOut = NewServer(eng, n.Name+"/xout", bps)
+	n.CrossIn = NewServer(eng, n.Name+"/xin", bps)
+}
+
+// SetNICLimit replaces the NIC rate in both directions (the paper's
+// per-node 50/150 Mbps contention throttle).
+func (n *Node) SetNICLimit(bps float64) {
+	n.Egress.SetRate(bps)
+	n.Ingress.SetRate(bps)
+}
+
+// Network carries packets between nodes.
+type Network struct {
+	eng *des.Engine
+	// HopLatency is the propagation + protocol latency added after a
+	// packet clears all rate servers on a hop.
+	HopLatency time.Duration
+	nodes      map[string]*Node
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork(eng *des.Engine, hopLatency time.Duration) *Network {
+	return &Network{eng: eng, HopLatency: hopLatency, nodes: make(map[string]*Node)}
+}
+
+// Add registers a node.
+func (nw *Network) Add(n *Node) { nw.nodes[n.Name] = n }
+
+// Node looks a node up by name.
+func (nw *Network) Node(name string) *Node { return nw.nodes[name] }
+
+// Deliver moves n bytes from src to dst through every rate server on the
+// path (src egress, cross-rack shapers when racks differ, dst ingress),
+// then fires arrived after the hop latency. Stages pipeline across
+// packets because each stage is its own FIFO server.
+func (nw *Network) Deliver(src, dst *Node, n int64, arrived func()) {
+	stages := make([]*Server, 0, 4)
+	stages = append(stages, src.Egress)
+	if src.Rack != dst.Rack {
+		if src.CrossOut != nil {
+			stages = append(stages, src.CrossOut)
+		}
+		if dst.CrossIn != nil {
+			stages = append(stages, dst.CrossIn)
+		}
+	}
+	stages = append(stages, dst.Ingress)
+
+	var step func(i int)
+	step = func(i int) {
+		if i == len(stages) {
+			if nw.HopLatency > 0 {
+				nw.eng.Schedule(nw.HopLatency, arrived)
+			} else {
+				arrived()
+			}
+			return
+		}
+		stages[i].Enqueue(n, func() { step(i + 1) })
+	}
+	step(0)
+}

@@ -1,0 +1,179 @@
+// Package proto defines the data-transfer wire protocol spoken between
+// clients and datanodes: operation headers (write-block, read-block),
+// data packets carrying chunked checksums, and pipeline acks — including
+// SMARTH's FIRST NODE FINISH ACK (FNFA), which the first datanode of a
+// pipeline sends once it has received and stored an entire block.
+//
+// Framing is explicit and versioned: every message is a 4-byte big-endian
+// length followed by the payload, so the protocol is usable over any
+// stream transport (in-memory pipes, TCP).
+package proto
+
+import "repro/internal/block"
+
+// Version is bumped on incompatible wire changes.
+const Version = 1
+
+// Default sizes match HDFS 1.x (§II of the paper): 64 MB blocks split
+// into 64 KB packets, checksummed in 512 B chunks.
+const (
+	DefaultBlockSize  = 64 << 20
+	DefaultPacketSize = 64 << 10
+	DefaultChunkSize  = 512
+)
+
+// MaxFrame bounds a single wire frame; a packet of data plus checksums
+// plus header fits comfortably.
+const MaxFrame = 8 << 20
+
+// Op identifies a data-transfer operation.
+type Op uint8
+
+const (
+	// OpWriteBlock opens a write pipeline for one block.
+	OpWriteBlock Op = 0x50
+	// OpReadBlock streams a block (or a range of it) back to the client.
+	OpReadBlock Op = 0x51
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWriteBlock:
+		return "WRITE_BLOCK"
+	case OpReadBlock:
+		return "READ_BLOCK"
+	default:
+		return "UNKNOWN_OP"
+	}
+}
+
+// WriteMode selects the acknowledgement discipline of a write pipeline.
+type WriteMode uint8
+
+const (
+	// ModeHDFS is the baseline stop-and-wait protocol: the client waits
+	// for every datanode's ack for every packet of a block before moving
+	// to the next block.
+	ModeHDFS WriteMode = 0
+	// ModeSmarth enables the FNFA: the first datanode acknowledges the
+	// whole block as soon as it is locally stored, letting the client
+	// open the next pipeline immediately.
+	ModeSmarth WriteMode = 1
+)
+
+func (m WriteMode) String() string {
+	if m == ModeSmarth {
+		return "SMARTH"
+	}
+	return "HDFS"
+}
+
+// Status is a per-datanode result carried inside acks.
+type Status uint8
+
+const (
+	StatusSuccess Status = iota
+	StatusError
+	StatusErrorChecksum
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "SUCCESS"
+	case StatusError:
+		return "ERROR"
+	case StatusErrorChecksum:
+		return "ERROR_CHECKSUM"
+	default:
+		return "UNKNOWN_STATUS"
+	}
+}
+
+// WriteBlockHeader starts a write pipeline. The receiving datanode stores
+// the block and mirrors every packet to Targets[0], which mirrors to
+// Targets[1], and so on.
+type WriteBlockHeader struct {
+	Block   block.Block
+	Targets []block.DatanodeInfo // downstream datanodes, excluding the receiver
+	Client  string               // client name, used for buffer accounting and speed records
+	Mode    WriteMode
+	// Depth is the receiver's position in the pipeline: 0 for the
+	// datanode the client dialed (the only one that emits the FNFA in
+	// SMARTH mode), incremented at each mirror hop.
+	Depth uint8
+}
+
+// ReadBlockHeader requests Length bytes of a block starting at Offset.
+// Length < 0 means "to the end of the block".
+type ReadBlockHeader struct {
+	Block  block.Block
+	Offset int64
+	Length int64
+}
+
+// Packet is one unit of data transfer within a block.
+type Packet struct {
+	Seqno  int64 // sequence number within the block, starting at 0
+	Offset int64 // offset of Data within the block
+	Last   bool  // true on the final (possibly empty) packet of the block
+	Sums   []uint32
+	Data   []byte
+}
+
+// AckKind discriminates pipeline acks.
+type AckKind uint8
+
+const (
+	// AckData acknowledges one packet. Statuses holds one entry per
+	// pipeline datanode, closest-first.
+	AckData AckKind = iota
+	// AckFNFA is SMARTH's FIRST NODE FINISH ACK: the first datanode has
+	// received and locally stored every packet of the block.
+	AckFNFA
+	// AckHeader acknowledges pipeline setup (success or failure of
+	// connecting the downstream mirrors).
+	AckHeader
+)
+
+func (k AckKind) String() string {
+	switch k {
+	case AckData:
+		return "DATA"
+	case AckFNFA:
+		return "FNFA"
+	case AckHeader:
+		return "HEADER"
+	default:
+		return "UNKNOWN_ACK"
+	}
+}
+
+// Ack travels the pipeline in reverse, from the last datanode back to the
+// client. Each datanode prepends its own status.
+type Ack struct {
+	Kind     AckKind
+	Seqno    int64    // for AckData: the packet acknowledged
+	Statuses []Status // closest datanode first
+}
+
+// OK reports whether every status in the ack is StatusSuccess.
+func (a Ack) OK() bool {
+	for _, s := range a.Statuses {
+		if s != StatusSuccess {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstBadIndex returns the pipeline index (closest datanode = 0) of the
+// first non-success status, or -1 if all succeeded.
+func (a Ack) FirstBadIndex() int {
+	for i, s := range a.Statuses {
+		if s != StatusSuccess {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,309 @@
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+)
+
+// Conn wraps a stream with buffered, frame-oriented message I/O. It is
+// safe for one concurrent reader and one concurrent writer, which matches
+// pipeline usage (packets flow one way, acks the other on a second Conn).
+type Conn struct {
+	r *bufio.Reader
+	w *bufio.Writer
+	c io.Closer
+}
+
+// NewConn wraps rw. If rw is an io.Closer, Close closes it.
+func NewConn(rw io.ReadWriter) *Conn {
+	c, _ := rw.(io.Closer)
+	return &Conn{
+		r: bufio.NewReaderSize(rw, 128<<10),
+		w: bufio.NewWriterSize(rw, 128<<10),
+		c: c,
+	}
+}
+
+// Close closes the underlying stream if it is closable.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// Flush forces buffered writes onto the wire.
+func (c *Conn) Flush() error { return c.w.Flush() }
+
+// writeFrame emits a length-prefixed frame and flushes.
+func (c *Conn) writeFrame(payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := c.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write(payload); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readFrame reads one length-prefixed frame.
+func (c *Conn) readFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("proto: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- primitive append/consume helpers ---
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func consumeString(src []byte) (string, []byte, error) {
+	if len(src) < 2 {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	n := int(binary.BigEndian.Uint16(src))
+	src = src[2:]
+	if len(src) < n {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(src[:n]), src[n:], nil
+}
+
+func appendBlock(dst []byte, b block.Block) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(b.ID))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(b.Gen))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(b.NumBytes))
+	return dst
+}
+
+func consumeBlock(src []byte) (block.Block, []byte, error) {
+	if len(src) < 24 {
+		return block.Block{}, nil, io.ErrUnexpectedEOF
+	}
+	b := block.Block{
+		ID:       block.ID(binary.BigEndian.Uint64(src)),
+		Gen:      block.GenStamp(binary.BigEndian.Uint64(src[8:])),
+		NumBytes: int64(binary.BigEndian.Uint64(src[16:])),
+	}
+	return b, src[24:], nil
+}
+
+func appendDatanode(dst []byte, d block.DatanodeInfo) []byte {
+	dst = appendString(dst, d.Name)
+	dst = appendString(dst, d.Addr)
+	return appendString(dst, d.Rack)
+}
+
+func consumeDatanode(src []byte) (block.DatanodeInfo, []byte, error) {
+	var d block.DatanodeInfo
+	var err error
+	if d.Name, src, err = consumeString(src); err != nil {
+		return d, nil, err
+	}
+	if d.Addr, src, err = consumeString(src); err != nil {
+		return d, nil, err
+	}
+	if d.Rack, src, err = consumeString(src); err != nil {
+		return d, nil, err
+	}
+	return d, src, nil
+}
+
+// --- operation headers ---
+
+// WriteHeader sends an operation header frame: version, op, payload.
+func (c *Conn) WriteHeader(op Op, h any) error {
+	buf := []byte{Version, byte(op)}
+	switch op {
+	case OpWriteBlock:
+		wh, ok := h.(*WriteBlockHeader)
+		if !ok {
+			return fmt.Errorf("proto: WriteHeader(%v) needs *WriteBlockHeader, got %T", op, h)
+		}
+		buf = appendBlock(buf, wh.Block)
+		buf = append(buf, byte(wh.Mode), wh.Depth)
+		buf = appendString(buf, wh.Client)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(wh.Targets)))
+		for _, t := range wh.Targets {
+			buf = appendDatanode(buf, t)
+		}
+	case OpReadBlock:
+		rh, ok := h.(*ReadBlockHeader)
+		if !ok {
+			return fmt.Errorf("proto: WriteHeader(%v) needs *ReadBlockHeader, got %T", op, h)
+		}
+		buf = appendBlock(buf, rh.Block)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(rh.Offset))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(rh.Length))
+	default:
+		return fmt.Errorf("proto: unknown op %v", op)
+	}
+	return c.writeFrame(buf)
+}
+
+// ReadHeader reads an operation header frame and returns the op plus the
+// decoded header (*WriteBlockHeader or *ReadBlockHeader).
+func (c *Conn) ReadHeader() (Op, any, error) {
+	buf, err := c.readFrame()
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(buf) < 2 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	if buf[0] != Version {
+		return 0, nil, fmt.Errorf("proto: version %d, want %d", buf[0], Version)
+	}
+	op := Op(buf[1])
+	rest := buf[2:]
+	switch op {
+	case OpWriteBlock:
+		var wh WriteBlockHeader
+		if wh.Block, rest, err = consumeBlock(rest); err != nil {
+			return op, nil, err
+		}
+		if len(rest) < 2 {
+			return op, nil, io.ErrUnexpectedEOF
+		}
+		wh.Mode = WriteMode(rest[0])
+		wh.Depth = rest[1]
+		rest = rest[2:]
+		if wh.Client, rest, err = consumeString(rest); err != nil {
+			return op, nil, err
+		}
+		if len(rest) < 2 {
+			return op, nil, io.ErrUnexpectedEOF
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		wh.Targets = make([]block.DatanodeInfo, n)
+		for i := 0; i < n; i++ {
+			if wh.Targets[i], rest, err = consumeDatanode(rest); err != nil {
+				return op, nil, err
+			}
+		}
+		return op, &wh, nil
+	case OpReadBlock:
+		var rh ReadBlockHeader
+		if rh.Block, rest, err = consumeBlock(rest); err != nil {
+			return op, nil, err
+		}
+		if len(rest) < 16 {
+			return op, nil, io.ErrUnexpectedEOF
+		}
+		rh.Offset = int64(binary.BigEndian.Uint64(rest))
+		rh.Length = int64(binary.BigEndian.Uint64(rest[8:]))
+		return op, &rh, nil
+	default:
+		return op, nil, fmt.Errorf("proto: unknown op byte 0x%02x", byte(op))
+	}
+}
+
+// --- packets ---
+
+// WritePacket frames and sends a data packet.
+func (c *Conn) WritePacket(p *Packet) error {
+	need := 8 + 8 + 1 + 4 + 4 + len(p.Sums)*checksum.BytesPerChecksum + len(p.Data)
+	buf := make([]byte, 0, need)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Seqno))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Offset))
+	var flags byte
+	if p.Last {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Sums)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Data)))
+	buf = checksum.Encode(buf, p.Sums)
+	buf = append(buf, p.Data...)
+	return c.writeFrame(buf)
+}
+
+// ReadPacket reads one data packet.
+func (c *Conn) ReadPacket() (*Packet, error) {
+	buf, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 25 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	p := &Packet{
+		Seqno:  int64(binary.BigEndian.Uint64(buf)),
+		Offset: int64(binary.BigEndian.Uint64(buf[8:])),
+		Last:   buf[16]&1 != 0,
+	}
+	nSums := int(binary.BigEndian.Uint32(buf[17:]))
+	nData := int(binary.BigEndian.Uint32(buf[21:]))
+	rest := buf[25:]
+	sumBytes := nSums * checksum.BytesPerChecksum
+	if len(rest) != sumBytes+nData {
+		return nil, fmt.Errorf("proto: packet body %d bytes, want %d sums + %d data", len(rest), sumBytes, nData)
+	}
+	if p.Sums, err = checksum.Decode(rest[:sumBytes]); err != nil {
+		return nil, err
+	}
+	p.Data = rest[sumBytes:]
+	return p, nil
+}
+
+// --- acks ---
+
+// WriteAck frames and sends a pipeline ack.
+func (c *Conn) WriteAck(a *Ack) error {
+	buf := make([]byte, 0, 16+len(a.Statuses))
+	buf = append(buf, byte(a.Kind))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(a.Seqno))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Statuses)))
+	for _, s := range a.Statuses {
+		buf = append(buf, byte(s))
+	}
+	return c.writeFrame(buf)
+}
+
+// ReadAck reads one pipeline ack.
+func (c *Conn) ReadAck() (*Ack, error) {
+	buf, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < 11 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	a := &Ack{
+		Kind:  AckKind(buf[0]),
+		Seqno: int64(binary.BigEndian.Uint64(buf[1:])),
+	}
+	n := int(binary.BigEndian.Uint16(buf[9:]))
+	if len(buf) != 11+n {
+		return nil, fmt.Errorf("proto: ack body %d bytes, want %d statuses", len(buf)-11, n)
+	}
+	a.Statuses = make([]Status, n)
+	for i := 0; i < n; i++ {
+		a.Statuses[i] = Status(buf[11+i])
+	}
+	return a, nil
+}

@@ -1,0 +1,299 @@
+// Package rpc is a minimal request/response RPC layer over a
+// transport.Network, used for the control plane: the ClientProtocol
+// (create / addBlock / complete / renewLease) and DatanodeProtocol
+// (register / heartbeat / blockReceived / recoverBlock) of the namenode.
+//
+// Messages are length-framed JSON. Calls multiplex over one connection;
+// the server dispatches each request on its own goroutine, so slow
+// handlers do not head-of-line block heartbeats.
+package rpc
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// MaxMessage bounds one RPC frame.
+const MaxMessage = 4 << 20
+
+type request struct {
+	Seq    uint64          `json:"seq"`
+	Method string          `json:"method"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+type response struct {
+	Seq  uint64          `json:"seq"`
+	Err  string          `json:"err,omitempty"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+func writeFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxMessage {
+		return fmt.Errorf("rpc: message of %d bytes exceeds max", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessage {
+		return fmt.Errorf("rpc: incoming message of %d bytes exceeds max", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf, v)
+}
+
+// Handler processes one request body and returns a response value.
+type Handler func(body []byte) (any, error)
+
+// Server dispatches named methods.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	listener transport.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewServer returns an empty server; register handlers before Serve.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		closed:   make(chan struct{}),
+	}
+}
+
+// RegisterFunc installs a raw handler for method.
+func (s *Server) RegisterFunc(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic("rpc: duplicate handler for " + method)
+	}
+	s.handlers[method] = h
+}
+
+// Handle installs a typed handler: the request body decodes into Req and
+// the returned Resp encodes into the response body.
+func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	s.RegisterFunc(method, func(body []byte) (any, error) {
+		var req Req
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				return nil, fmt.Errorf("rpc: bad %s request: %w", method, err)
+			}
+		}
+		return fn(req)
+	})
+}
+
+// Serve accepts connections on l until the listener closes. It returns
+// after the accept loop exits; in-flight connections drain in background
+// goroutines tracked by Close.
+func (s *Server) Serve(l transport.Listener) {
+	s.listener = l
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for connection goroutines.
+func (s *Server) Close() {
+	select {
+	case <-s.closed:
+		return
+	default:
+		close(s.closed)
+	}
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn transport.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	var handlerWG sync.WaitGroup
+	defer handlerWG.Wait()
+	for {
+		var req request
+		if err := readFrame(conn, &req); err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[req.Method]
+		s.mu.RUnlock()
+		handlerWG.Add(1)
+		go func(req request) {
+			defer handlerWG.Done()
+			resp := response{Seq: req.Seq}
+			if h == nil {
+				resp.Err = "rpc: unknown method " + req.Method
+			} else if result, err := h(req.Body); err != nil {
+				resp.Err = err.Error()
+			} else if result != nil {
+				body, err := json.Marshal(result)
+				if err != nil {
+					resp.Err = "rpc: encode response: " + err.Error()
+				} else {
+					resp.Body = body
+				}
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = writeFrame(conn, resp) // a broken conn ends the read loop
+		}(req)
+	}
+}
+
+// ErrShutdown is returned by calls on a closed client.
+var ErrShutdown = errors.New("rpc: client is shut down")
+
+// RemoteError is a server-side failure surfaced to the caller.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Client issues calls over a single multiplexed connection.
+type Client struct {
+	conn    transport.Conn
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]chan response
+	closed  bool
+	err     error
+}
+
+// Dial connects local to the server at remote over net.
+func Dial(net transport.Network, local, remote string) (*Client, error) {
+	conn, err := net.Dial(local, remote)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	for {
+		var resp response
+		if err := readFrame(c.conn, &resp); err != nil {
+			c.shutdown(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.Seq]
+		delete(c.pending, resp.Seq)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) shutdown(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if err == nil {
+		err = ErrShutdown
+	}
+	c.err = err
+	for seq, ch := range c.pending {
+		delete(c.pending, seq)
+		ch <- response{Seq: seq, Err: err.Error()}
+	}
+	c.conn.Close()
+}
+
+// Close tears the connection down; pending calls fail.
+func (c *Client) Close() { c.shutdown(ErrShutdown) }
+
+// Call invokes method with arg and decodes the result into reply (which
+// may be nil for methods without results).
+func (c *Client) Call(method string, arg, reply any) error {
+	var body json.RawMessage
+	if arg != nil {
+		b, err := json.Marshal(arg)
+		if err != nil {
+			return fmt.Errorf("rpc: encode %s request: %w", method, err)
+		}
+		body = b
+	}
+
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.seq++
+	seq := c.seq
+	c.pending[seq] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeFrame(c.conn, request{Seq: seq, Method: method, Body: body})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+		c.shutdown(err)
+		return err
+	}
+
+	resp := <-ch
+	if resp.Err != "" {
+		return &RemoteError{Msg: resp.Err}
+	}
+	if reply != nil && len(resp.Body) > 0 {
+		if err := json.Unmarshal(resp.Body, reply); err != nil {
+			return fmt.Errorf("rpc: decode %s reply: %w", method, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "time"
+
+// CostParams feeds the paper's §III-D analytical cost model.
+type CostParams struct {
+	// D, B, P: file, block and packet sizes in bytes.
+	D, B, P int64
+	// Tn: client↔namenode communication time per block.
+	Tn time.Duration
+	// Tc: average production time of one packet at the client.
+	Tc time.Duration
+	// Tw: average checksum-verify + local-write time per packet at a
+	// datanode.
+	Tw time.Duration
+	// BminBps: minimum bandwidth along the whole pipeline (client→dn1
+	// and between adjacent datanodes), bytes/second.
+	BminBps float64
+	// BmaxBps: bandwidth between the client and the first datanode,
+	// bytes/second.
+	BmaxBps float64
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// transferTime is P/Bandwidth as a duration.
+func transferTime(p int64, bps float64) time.Duration {
+	if bps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(p) / bps * float64(time.Second))
+}
+
+// HDFSTime evaluates the original-HDFS cost: Formula (1) when packet
+// production dominates (Tc >= P/Bmin), Formula (2) when transmission
+// dominates.
+func HDFSTime(p CostParams) time.Duration {
+	blocks := ceilDiv(p.D, p.B)
+	packets := ceilDiv(p.D, p.P)
+	send := transferTime(p.P, p.BminBps)
+	perPacket := p.Tc
+	if p.Tc < send {
+		perPacket = send // Formula (2): blocking on the data queue
+	}
+	return time.Duration(blocks)*p.Tn + time.Duration(packets)*(perPacket+p.Tw)
+}
+
+// SmarthTime evaluates the SMARTH cost, Formula (1) or (3): the pipeline
+// is paced by the client→first-datanode bandwidth Bmax instead of the
+// pipeline minimum.
+func SmarthTime(p CostParams) time.Duration {
+	blocks := ceilDiv(p.D, p.B)
+	packets := ceilDiv(p.D, p.P)
+	send := transferTime(p.P, p.BmaxBps)
+	perPacket := p.Tc
+	if p.Tc < send {
+		perPacket = send // Formula (3)
+	}
+	return time.Duration(blocks)*p.Tn + time.Duration(packets)*(perPacket+p.Tw)
+}
+
+// Improvement returns (tHDFS - tSmarth) / tSmarth, the paper's
+// improvement metric (e.g. 1.30 = "130% faster").
+func Improvement(tHDFS, tSmarth time.Duration) float64 {
+	if tSmarth <= 0 {
+		return 0
+	}
+	return float64(tHDFS-tSmarth) / float64(tSmarth)
+}

@@ -1,0 +1,609 @@
+// Package sim runs paper-scale write experiments in virtual time: the
+// same placement algorithms as the real stack (it drives the actual
+// namenode code), with the data plane modelled at packet granularity on
+// the netsim rate servers. An 8 GB upload into a 9-node cluster —
+// minutes of wall-clock on EC2 — simulates in well under a second, which
+// is what makes reproducing every figure of the paper's evaluation
+// tractable. Beyond the paper's single-uploader experiments, the
+// simulator also supports several concurrent clients (RunMulti), the
+// MapReduce-output scenario the paper lists as future work.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ec2"
+	"repro/internal/namenode"
+	"repro/internal/netsim"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+)
+
+// ClientName is the simulated client's identity (client k in a
+// multi-client run is "client<k+1>").
+const ClientName = "client"
+
+// Config describes one simulated upload experiment.
+type Config struct {
+	// Preset supplies the instance types (Table I presets).
+	Preset ec2.ClusterPreset
+	// FileSize in bytes (the paper sweeps 1–8 GB). In multi-client runs
+	// every client writes a file of this size.
+	FileSize int64
+	// Mode selects HDFS or SMARTH.
+	Mode proto.WriteMode
+
+	// BlockSize defaults to 64 MB, PacketSize to 64 KB, Replication to 3.
+	BlockSize   int64
+	PacketSize  int64
+	Replication int
+
+	// The paper's §V-B.1 topology places datanodes 1–5 (and the client)
+	// in rack A and 6–9 in rack B; set SingleRack to collapse everything
+	// into one rack.
+	SingleRack bool
+	// NumRacks, when 3 or more, spreads datanodes round-robin across
+	// that many racks instead (the paper's "nodes allocated in different
+	// data centers" remark); the client sits in rack 0 and
+	// CrossRackMbps shapes traffic between any two distinct racks.
+	NumRacks int
+	// CrossRackMbps throttles every node's traffic to the other rack
+	// (the tc experiment); 0 = no throttle.
+	CrossRackMbps float64
+	// NodeLimitMbps throttles individual datanodes' NICs by index
+	// (0-based), the §V-B.2 bandwidth-contention scenario.
+	NodeLimitMbps map[int]float64
+
+	// Model parameters (defaults in parentheses): client packet
+	// production rate (400 MB/s ⇒ T_c ≈ 0.16 ms/packet), datanode disk
+	// rate (300 MB/s ⇒ T_w ≈ 0.21 ms/packet), namenode RPC latency
+	// (1.5 ms = T_n), per-hop network latency (0.3 ms).
+	ProductionMBps float64
+	DiskMBps       float64
+	NNLatency      time.Duration
+	HopLatency     time.Duration
+
+	// HeartbeatInterval is the client speed-report cadence (3 s).
+	HeartbeatInterval time.Duration
+
+	// Seed fixes placement and local-optimization randomness.
+	Seed int64
+
+	// Ablation knobs.
+	DisableLocalOpt  bool // turn off Algorithm 2
+	MaxPipelines     int  // override the activeDatanodes/replication cap
+	DisableGlobalOpt bool // suppress speed reports: Algorithm 1 never engages
+
+	// Trace records per-pipeline spans into Result.Pipelines (see
+	// RenderTimeline).
+	Trace bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.BlockSize <= 0 {
+		c.BlockSize = proto.DefaultBlockSize
+	}
+	if c.PacketSize <= 0 {
+		c.PacketSize = proto.DefaultPacketSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	if c.ProductionMBps <= 0 {
+		c.ProductionMBps = 400
+	}
+	if c.DiskMBps <= 0 {
+		c.DiskMBps = 300
+	}
+	if c.NNLatency <= 0 {
+		c.NNLatency = 1500 * time.Microsecond
+	}
+	if c.HopLatency <= 0 {
+		c.HopLatency = 300 * time.Microsecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = core.HeartbeatInterval
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Result summarizes one simulated upload.
+type Result struct {
+	// Duration is the virtual time from the first create() to the file
+	// completing.
+	Duration time.Duration
+	// Bytes uploaded and the number of blocks used.
+	Bytes  int64
+	Blocks int
+	// PeakPipelines is the maximum number of concurrently active
+	// pipelines observed (1 for HDFS by construction).
+	PeakPipelines int
+	// FirstDatanodeUse counts how often each datanode served as a
+	// pipeline's first node (placement diagnostics).
+	FirstDatanodeUse map[string]int
+	// Pipelines holds per-block spans when Config.Trace is set.
+	Pipelines []PipelineSpan
+	// EgressBytes and IngressBytes count payload bytes through each
+	// node's NIC transmit/receive servers (single-client runs only; in
+	// multi-client runs the shared datanode counters live on the last
+	// client's result).
+	EgressBytes  map[string]int64
+	IngressBytes map[string]int64
+}
+
+// ThroughputMBps is the end-to-end upload rate.
+func (r Result) ThroughputMBps() float64 {
+	s := r.Duration.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 / s
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%.1fs (%.1f MB/s, %d blocks, peak %d pipelines)",
+		r.Duration.Seconds(), r.ThroughputMBps(), r.Blocks, r.PeakPipelines)
+}
+
+// MultiResult summarizes a concurrent multi-client run.
+type MultiResult struct {
+	// PerClient holds each client's upload result, in client order.
+	PerClient []Result
+	// Makespan is when the last client finished.
+	Makespan time.Duration
+	// TotalBytes across all clients.
+	TotalBytes int64
+}
+
+// AggregateMBps is total data over the makespan.
+func (m MultiResult) AggregateMBps() float64 {
+	s := m.Makespan.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(m.TotalBytes) / 1e6 / s
+}
+
+// engClock adapts the DES engine to the clock.Clock interface the
+// namenode expects. Sleep is a no-op: the namenode never sleeps, and the
+// simulation drives all timing through scheduled events.
+type engClock struct{ eng *des.Engine }
+
+func (c engClock) Now() time.Time        { return time.Unix(0, 0).Add(c.eng.Now()) }
+func (c engClock) Sleep(_ time.Duration) {}
+func (c engClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	ch <- c.Now().Add(d)
+	return ch
+}
+
+// mbps converts the paper's megabit figures to bytes/second.
+func mbps(v float64) float64 { return v * 1e6 / 8 }
+
+// simulation holds one experiment's shared infrastructure.
+type simulation struct {
+	cfg Config
+	eng *des.Engine
+	nw  *netsim.Network
+	nn  *namenode.Namenode
+
+	dnNodes []*netsim.Node
+	writers []*writer
+	left    int // writers still running
+}
+
+// writer is one simulated uploading client.
+type writer struct {
+	s    *simulation
+	name string
+	path string
+
+	node       *netsim.Node
+	production *netsim.Server // client CPU producing packets (T_c)
+	recorder   *core.Recorder
+	rng        *rand.Rand
+
+	numBlocks   int
+	nextBlock   int
+	activePipes int
+	peakPipes   int
+	activeDNs   map[string]bool
+	streaming   bool
+	maxPipes    int
+	completed   int
+	firstUse    map[string]int
+	endTime     time.Duration
+	done        bool
+	spans       []PipelineSpan
+}
+
+// rackFor assigns the paper's 5+4 two-rack split (clients share rack A),
+// or a round-robin split when NumRacks requests more racks.
+func (s *simulation) rackFor(i int) string {
+	if s.cfg.SingleRack {
+		return "/rack-a"
+	}
+	if s.cfg.NumRacks >= 3 {
+		return fmt.Sprintf("/rack-%d", i%s.cfg.NumRacks)
+	}
+	if i < 5 {
+		return "/rack-a"
+	}
+	return "/rack-b"
+}
+
+// clientRack is where uploading clients live.
+func (s *simulation) clientRack() string {
+	if !s.cfg.SingleRack && s.cfg.NumRacks >= 3 {
+		return "/rack-0"
+	}
+	return "/rack-a"
+}
+
+func newSimulation(cfg Config, numClients int) *simulation {
+	cfg.applyDefaults()
+	eng := des.New()
+	s := &simulation{
+		cfg: cfg,
+		eng: eng,
+		nw:  netsim.NewNetwork(eng, cfg.HopLatency),
+	}
+
+	// Namenode runs the real placement code against the virtual clock;
+	// liveness expiry is effectively disabled (no datanode heartbeats in
+	// the performance model).
+	s.nn = namenode.New(namenode.Options{
+		Clock:  engClock{eng},
+		Expiry: time.Duration(math.MaxInt64 / 4),
+		Seed:   cfg.Seed,
+	})
+
+	// Datanodes.
+	diskBps := cfg.DiskMBps * 1e6
+	for i, inst := range cfg.Preset.Datanodes {
+		name := fmt.Sprintf("dn%d", i+1)
+		node := netsim.NewNode(eng, name, s.rackFor(i), inst.NetworkBps(), diskBps)
+		if limit, ok := cfg.NodeLimitMbps[i]; ok && limit > 0 {
+			node.SetNICLimit(mbps(limit))
+		}
+		if cfg.CrossRackMbps > 0 && !cfg.SingleRack {
+			node.SetCrossRackLimit(eng, mbps(cfg.CrossRackMbps))
+		}
+		s.nw.Add(node)
+		s.dnNodes = append(s.dnNodes, node)
+		if _, err := s.nn.Register(nnapi.RegisterReq{Name: name, Addr: name, Rack: node.Rack}); err != nil {
+			panic(err) // registration of a fresh namenode cannot fail
+		}
+	}
+
+	// Clients, all in rack A like the paper's uploader.
+	maxPipes := cfg.MaxPipelines
+	if maxPipes <= 0 {
+		maxPipes = core.MaxPipelines(len(cfg.Preset.Datanodes), cfg.Replication)
+	}
+	numBlocks := int((cfg.FileSize + cfg.BlockSize - 1) / cfg.BlockSize)
+	if numBlocks == 0 {
+		numBlocks = 1
+	}
+	for k := 0; k < numClients; k++ {
+		name := ClientName
+		if numClients > 1 {
+			name = fmt.Sprintf("%s%d", ClientName, k+1)
+		}
+		node := netsim.NewNode(eng, name, s.clientRack(), cfg.Preset.Client.NetworkBps(), 0)
+		if cfg.CrossRackMbps > 0 && !cfg.SingleRack {
+			node.SetCrossRackLimit(eng, mbps(cfg.CrossRackMbps))
+		}
+		s.nw.Add(node)
+		w := &writer{
+			s:          s,
+			name:       name,
+			path:       "/" + name + "-file",
+			node:       node,
+			production: netsim.NewServer(eng, name+"/cpu", cfg.ProductionMBps*1e6),
+			recorder:   core.NewRecorder(),
+			rng:        rand.New(rand.NewSource(cfg.Seed + int64(k)*7919)),
+			activeDNs:  make(map[string]bool),
+			firstUse:   make(map[string]int),
+			maxPipes:   maxPipes,
+			numBlocks:  numBlocks,
+		}
+		s.writers = append(s.writers, w)
+	}
+	s.left = numClients
+	return s
+}
+
+// blockBytes returns the size of block i.
+func (w *writer) blockBytes(i int) int64 {
+	cfg := &w.s.cfg
+	full := cfg.FileSize / cfg.BlockSize
+	if int64(i) < full {
+		return cfg.BlockSize
+	}
+	return cfg.FileSize % cfg.BlockSize
+}
+
+// Run simulates one upload and returns the result.
+func Run(cfg Config) Result {
+	return RunMulti(cfg, 1).PerClient[0]
+}
+
+// RunMulti simulates numClients concurrent uploads (each of
+// cfg.FileSize) and returns per-client results plus the makespan.
+func RunMulti(cfg Config, numClients int) MultiResult {
+	if numClients < 1 {
+		numClients = 1
+	}
+	s := newSimulation(cfg, numClients)
+	for _, w := range s.writers {
+		w.start()
+	}
+	s.eng.Run()
+
+	egress := make(map[string]int64)
+	ingress := make(map[string]int64)
+	for _, node := range s.dnNodes {
+		egress[node.Name] = node.Egress.Bytes
+		ingress[node.Name] = node.Ingress.Bytes
+	}
+	for _, w := range s.writers {
+		egress[w.name] = w.node.Egress.Bytes
+		ingress[w.name] = w.node.Ingress.Bytes
+	}
+
+	out := MultiResult{TotalBytes: int64(numClients) * s.cfg.FileSize}
+	for _, w := range s.writers {
+		out.PerClient = append(out.PerClient, Result{
+			Duration:         w.endTime,
+			Bytes:            s.cfg.FileSize,
+			Blocks:           w.numBlocks,
+			PeakPipelines:    w.peakPipes,
+			FirstDatanodeUse: w.firstUse,
+			Pipelines:        w.spans,
+			EgressBytes:      egress,
+			IngressBytes:     ingress,
+		})
+		if w.endTime > out.Makespan {
+			out.Makespan = w.endTime
+		}
+	}
+	return out
+}
+
+// start creates the writer's file and kicks off its protocol.
+func (w *writer) start() {
+	s := w.s
+	if _, err := s.nn.Create(nnapi.CreateReq{
+		Path: w.path, Client: w.name,
+		Replication: s.cfg.Replication, BlockSize: s.cfg.BlockSize,
+	}); err != nil {
+		panic(err)
+	}
+
+	// Heartbeats carry the client's speed table to the namenode.
+	if !s.cfg.DisableGlobalOpt {
+		var tick func()
+		tick = func() {
+			if w.done {
+				return
+			}
+			if w.recorder.Len() > 0 {
+				_, _ = s.nn.ClientHeartbeat(nnapi.ClientHeartbeatReq{
+					Client: w.name,
+					Speeds: w.recorder.Snapshot(),
+				})
+			}
+			s.eng.Schedule(s.cfg.HeartbeatInterval, tick)
+		}
+		s.eng.Schedule(s.cfg.HeartbeatInterval, tick)
+	}
+
+	if s.cfg.Mode == proto.ModeSmarth {
+		w.trySmarthLaunch()
+	} else {
+		w.startHDFSBlock(0)
+	}
+}
+
+func (w *writer) finishFile() {
+	s := w.s
+	w.done = true
+	// The final complete() RPC.
+	w.endTime = s.eng.Now() + s.cfg.NNLatency
+	s.left--
+	if s.left == 0 {
+		s.eng.Stop()
+	}
+}
+
+// --- HDFS stop-and-wait ---
+
+func (w *writer) startHDFSBlock(i int) {
+	s := w.s
+	s.eng.Schedule(s.cfg.NNLatency, func() {
+		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{Path: w.path, Client: w.name, Mode: proto.ModeHDFS})
+		if err != nil {
+			panic(err)
+		}
+		targets := resp.Located.Targets
+		w.firstUse[targets[0].Name]++
+		w.trackPipes(1)
+		start := s.eng.Now()
+		w.launchPipeline(i, targets, nil, func() {
+			w.trackPipes(-1)
+			w.completed++
+			if s.cfg.Trace {
+				now := s.eng.Now()
+				w.spans = append(w.spans, PipelineSpan{
+					Block: i, FirstDN: targets[0].Name,
+					Start: start, FNFA: now, Done: now,
+				})
+			}
+			if i+1 < w.numBlocks {
+				w.startHDFSBlock(i + 1)
+			} else {
+				w.finishFile()
+			}
+		})
+	})
+}
+
+func (w *writer) trackPipes(delta int) {
+	w.activePipes += delta
+	if w.activePipes > w.peakPipes {
+		w.peakPipes = w.activePipes
+	}
+}
+
+// --- SMARTH multi-pipeline ---
+
+func (w *writer) trySmarthLaunch() {
+	s := w.s
+	if w.done || w.streaming || w.nextBlock >= w.numBlocks || w.activePipes >= w.maxPipes {
+		return
+	}
+	i := w.nextBlock
+	w.nextBlock++
+	w.streaming = true
+	s.eng.Schedule(s.cfg.NNLatency, func() {
+		exclude := make([]string, 0, len(w.activeDNs))
+		for dn := range w.activeDNs {
+			exclude = append(exclude, dn)
+		}
+		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{
+			Path: w.path, Client: w.name, Mode: proto.ModeSmarth, Exclude: exclude,
+		})
+		if err != nil {
+			panic(err)
+		}
+		targets := resp.Located.Targets
+		if !s.cfg.DisableLocalOpt {
+			w.localOptimize(targets)
+		}
+		w.firstUse[targets[0].Name]++
+		for _, t := range targets {
+			w.activeDNs[t.Name] = true
+		}
+		w.trackPipes(1)
+
+		start := s.eng.Now()
+		blockSize := w.blockBytes(i)
+		var fnfaAt time.Duration
+		w.launchPipeline(i, targets,
+			func() { // FNFA
+				fnfaAt = s.eng.Now()
+				w.recorder.Record(targets[0].Name, blockSize, fnfaAt-start)
+				w.streaming = false
+				w.trySmarthLaunch()
+			},
+			func() { // all acks received: pipeline leaves the active set
+				w.trackPipes(-1)
+				for _, t := range targets {
+					delete(w.activeDNs, t.Name)
+				}
+				w.completed++
+				if s.cfg.Trace {
+					if fnfaAt == 0 {
+						fnfaAt = s.eng.Now()
+					}
+					w.spans = append(w.spans, PipelineSpan{
+						Block: i, FirstDN: targets[0].Name,
+						Start: start, FNFA: fnfaAt, Done: s.eng.Now(),
+					})
+				}
+				if w.completed == w.numBlocks {
+					w.finishFile()
+					return
+				}
+				w.trySmarthLaunch()
+			})
+	})
+}
+
+func (w *writer) localOptimize(targets []block.DatanodeInfo) {
+	names := make([]string, len(targets))
+	byName := make(map[string]block.DatanodeInfo, len(targets))
+	for i, t := range targets {
+		names[i] = t.Name
+		byName[t.Name] = t
+	}
+	core.LocalOptimize(names, w.recorder.Speed, w.rng)
+	for i, n := range names {
+		targets[i] = byName[n]
+	}
+}
+
+// --- the shared packet-level pipeline model ---
+
+// launchPipeline streams block i through the target pipeline. onFNFA
+// (may be nil) fires when the first datanode has stored the whole block;
+// onAllAcked fires when the last packet's ack returns from the whole
+// pipeline.
+func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onAllAcked func()) {
+	s := w.s
+	total := w.blockBytes(i)
+	numPackets := int((total + s.cfg.PacketSize - 1) / s.cfg.PacketSize)
+	if numPackets == 0 {
+		numPackets = 1
+	}
+	nodes := make([]*netsim.Node, len(targets))
+	for j, t := range targets {
+		nodes[j] = s.nw.Node(t.Name)
+		if nodes[j] == nil {
+			panic("sim: unknown datanode " + t.Name)
+		}
+	}
+
+	acked := 0
+	var arriveAtDN func(j, k int, pktBytes int64)
+	arriveAtDN = func(j, k int, pktBytes int64) {
+		node := nodes[j]
+		node.Disk.Enqueue(pktBytes, func() {
+			// Stored locally; mirror to the next hop.
+			if j+1 < len(nodes) {
+				s.nw.Deliver(node, nodes[j+1], pktBytes, func() { arriveAtDN(j+1, k, pktBytes) })
+			}
+			if j == 0 && k == numPackets-1 && onFNFA != nil {
+				// FNFA: one hop of latency back to the client.
+				s.eng.Schedule(s.cfg.HopLatency, onFNFA)
+			}
+			if j == len(nodes)-1 {
+				// The combined ack travels the pipeline in reverse; the
+				// paper treats ack transfer time as negligible, so only
+				// latency is charged.
+				ackDelay := time.Duration(len(nodes)) * s.cfg.HopLatency
+				s.eng.Schedule(ackDelay, func() {
+					acked++
+					if acked == numPackets {
+						onAllAcked()
+					}
+				})
+			}
+		})
+	}
+
+	// The client produces packets sequentially (T_c each) and sends them
+	// to the first datanode through its NIC.
+	for k := 0; k < numPackets; k++ {
+		k := k
+		pktBytes := s.cfg.PacketSize
+		if int64(k) == total/s.cfg.PacketSize {
+			pktBytes = total % s.cfg.PacketSize
+		}
+		if pktBytes == 0 {
+			pktBytes = s.cfg.PacketSize // exact multiple: every packet full
+		}
+		w.production.Enqueue(pktBytes, func() {
+			s.nw.Deliver(w.node, nodes[0], pktBytes, func() { arriveAtDN(0, k, pktBytes) })
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PipelineSpan records one block's pipeline lifecycle in virtual time:
+// when the client began streaming it, when the FNFA arrived (SMARTH; for
+// HDFS this equals Done), and when the final ack closed the pipeline.
+type PipelineSpan struct {
+	Block   int
+	FirstDN string
+	Start   time.Duration
+	FNFA    time.Duration
+	Done    time.Duration
+}
+
+// Overlaps reports whether two spans were active at the same time.
+func (p PipelineSpan) Overlaps(o PipelineSpan) bool {
+	return p.Start < o.Done && o.Start < p.Done
+}
+
+// MaxOverlap returns the maximum number of simultaneously active
+// pipelines across the spans.
+func MaxOverlap(spans []PipelineSpan) int {
+	type edge struct {
+		at    time.Duration
+		delta int
+	}
+	var edges []edge
+	for _, s := range spans {
+		edges = append(edges, edge{s.Start, +1}, edge{s.Done, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta < edges[j].delta // close before open at ties
+	})
+	cur, max := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}
+
+// RenderTimeline draws an ASCII Gantt chart of pipeline spans: '=' while
+// the client streams the block (until FNFA), '-' while the pipeline
+// drains acks. width is the chart's character width.
+func RenderTimeline(spans []PipelineSpan, width int) string {
+	if len(spans) == 0 {
+		return "(no pipelines)\n"
+	}
+	if width <= 10 {
+		width = 80
+	}
+	var end time.Duration
+	for _, s := range spans {
+		if s.Done > end {
+			end = s.Done
+		}
+	}
+	if end == 0 {
+		end = 1
+	}
+	scale := func(t time.Duration) int {
+		x := int(float64(t) / float64(end) * float64(width-1))
+		if x >= width {
+			x = width - 1
+		}
+		return x
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline timeline (0 .. %.1fs, '=' streaming to first DN, '-' draining acks)\n", end.Seconds())
+	sorted := append([]PipelineSpan(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Block < sorted[j].Block })
+	for _, s := range sorted {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		from, mid, to := scale(s.Start), scale(s.FNFA), scale(s.Done)
+		for i := from; i <= to && i < width; i++ {
+			if i <= mid {
+				row[i] = '='
+			} else {
+				row[i] = '-'
+			}
+		}
+		fmt.Fprintf(&b, "blk%-4d %-5s |%s|\n", s.Block, s.FirstDN, string(row))
+	}
+	return b.String()
+}

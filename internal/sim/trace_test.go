@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ec2"
+	"repro/internal/proto"
+)
+
+func TestTraceSpansRecorded(t *testing.T) {
+	cfg := Config{
+		Preset: ec2.SmallCluster, FileSize: 512 << 20, // 8 blocks
+		Mode: proto.ModeSmarth, CrossRackMbps: 50, Trace: true, Seed: 7,
+	}
+	r := Run(cfg)
+	if len(r.Pipelines) != r.Blocks {
+		t.Fatalf("spans = %d, want %d", len(r.Pipelines), r.Blocks)
+	}
+	for _, s := range r.Pipelines {
+		if !(s.Start <= s.FNFA && s.FNFA <= s.Done) {
+			t.Fatalf("span ordering broken: %+v", s)
+		}
+		if s.FirstDN == "" {
+			t.Fatalf("span missing first datanode: %+v", s)
+		}
+	}
+	// Under heavy throttle, pipelines must actually overlap...
+	if MaxOverlap(r.Pipelines) < 2 {
+		t.Fatalf("MaxOverlap = %d, want >= 2 under throttle", MaxOverlap(r.Pipelines))
+	}
+	// ...and never beyond the cap reported by the run.
+	if MaxOverlap(r.Pipelines) > r.PeakPipelines {
+		t.Fatalf("span overlap %d exceeds run's peak %d", MaxOverlap(r.Pipelines), r.PeakPipelines)
+	}
+}
+
+func TestHDFSSpansNeverOverlap(t *testing.T) {
+	cfg := Config{
+		Preset: ec2.SmallCluster, FileSize: 256 << 20,
+		Mode: proto.ModeHDFS, Trace: true, Seed: 7,
+	}
+	r := Run(cfg)
+	if got := MaxOverlap(r.Pipelines); got != 1 {
+		t.Fatalf("HDFS MaxOverlap = %d, want 1 (stop-and-wait)", got)
+	}
+	for _, s := range r.Pipelines {
+		if s.FNFA != s.Done {
+			t.Fatalf("HDFS span has distinct FNFA: %+v", s)
+		}
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	r := Run(Config{Preset: ec2.SmallCluster, FileSize: 128 << 20, Mode: proto.ModeSmarth})
+	if r.Pipelines != nil {
+		t.Fatal("spans recorded without Trace")
+	}
+}
+
+func TestMaxOverlapEdgeCases(t *testing.T) {
+	if MaxOverlap(nil) != 0 {
+		t.Fatal("MaxOverlap(nil) != 0")
+	}
+	a := PipelineSpan{Block: 0, Start: 0, Done: 10}
+	b := PipelineSpan{Block: 1, Start: 10, Done: 20} // touching, not overlapping
+	if a.Overlaps(b) {
+		t.Fatal("touching spans reported as overlapping")
+	}
+	if MaxOverlap([]PipelineSpan{a, b}) != 1 {
+		t.Fatal("touching spans counted as concurrent")
+	}
+	c := PipelineSpan{Block: 2, Start: 5, Done: 15}
+	if !a.Overlaps(c) || !c.Overlaps(a) {
+		t.Fatal("overlap not symmetric")
+	}
+	if MaxOverlap([]PipelineSpan{a, b, c}) != 2 {
+		t.Fatal("overlap count wrong")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	spans := []PipelineSpan{
+		{Block: 0, FirstDN: "dn1", Start: 0, FNFA: 2 * time.Second, Done: 10 * time.Second},
+		{Block: 1, FirstDN: "dn4", Start: 2 * time.Second, FNFA: 4 * time.Second, Done: 12 * time.Second},
+	}
+	out := RenderTimeline(spans, 40)
+	if !strings.Contains(out, "blk0") || !strings.Contains(out, "blk1") {
+		t.Fatalf("timeline missing blocks:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "-") {
+		t.Fatalf("timeline missing phases:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline has %d lines, want header + 2 rows", len(lines))
+	}
+	if RenderTimeline(nil, 40) != "(no pipelines)\n" {
+		t.Fatal("empty timeline rendering wrong")
+	}
+	// Degenerate width falls back without panicking.
+	if RenderTimeline(spans, 1) == "" {
+		t.Fatal("narrow width produced nothing")
+	}
+}

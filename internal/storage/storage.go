@@ -1,0 +1,300 @@
+// Package storage implements datanode block storage. A replica is either
+// temporary (being written by a pipeline) or finalized. Two backends are
+// provided: an in-memory store (fast, used by tests, simulations and
+// examples) and an on-disk store (block file plus a checksum meta file,
+// like HDFS's blk_N / blk_N.meta pairs).
+//
+// Recovery model: when a pipeline fails, the client re-streams the whole
+// interrupted block under a bumped generation stamp (see Algorithm 3/4 in
+// the paper and DESIGN.md), so stores support overwriting temporary
+// replicas rather than appending to them.
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+	"repro/internal/clock"
+)
+
+// Errors returned by stores.
+var (
+	ErrNotFound     = errors.New("storage: block not found")
+	ErrExists       = errors.New("storage: block already exists")
+	ErrNotFinalized = errors.New("storage: block not finalized")
+	ErrCommitted    = errors.New("storage: writer already committed")
+)
+
+// State of a replica.
+type State int
+
+const (
+	// Temp replicas are being written by an open pipeline.
+	Temp State = iota
+	// Finalized replicas are complete and readable.
+	Finalized
+)
+
+func (s State) String() string {
+	if s == Finalized {
+		return "FINALIZED"
+	}
+	return "TEMP"
+}
+
+// ReplicaInfo describes one stored replica.
+type ReplicaInfo struct {
+	Block block.Block
+	State State
+	Len   int64
+}
+
+// BlockWriter streams one replica's bytes. Commit finalizes the replica;
+// Close without Commit aborts and discards it.
+type BlockWriter interface {
+	io.Writer
+	// Commit marks the replica finalized with the bytes written so far.
+	Commit() error
+	// Close aborts the replica if Commit was not called. Close after
+	// Commit is a no-op.
+	Close() error
+}
+
+// Store is the interface datanodes program against.
+type Store interface {
+	// Create opens a writer for a new temporary replica. If overwrite is
+	// set, an existing replica with the same ID (any state) is discarded
+	// first — the pipeline-recovery path.
+	Create(b block.Block, overwrite bool) (BlockWriter, error)
+	// Open returns a reader over a finalized replica and its length.
+	Open(id block.ID) (io.ReadCloser, int64, error)
+	// Sums returns the finalized replica's per-chunk checksums as
+	// captured at commit time. Serving these (rather than re-computing
+	// from the stored bytes) is what lets readers detect replicas that
+	// rotted after they were written.
+	Sums(id block.ID) ([]uint32, error)
+	// Info reports a replica's metadata.
+	Info(id block.ID) (ReplicaInfo, error)
+	// Delete removes a replica in any state.
+	Delete(id block.ID) error
+	// Blocks lists all finalized replicas, sorted by ID.
+	Blocks() []ReplicaInfo
+	// UsedBytes is the total stored payload (all states).
+	UsedBytes() int64
+}
+
+// ---------------------------------------------------------------------
+// In-memory store
+// ---------------------------------------------------------------------
+
+type memReplica struct {
+	info ReplicaInfo
+	data []byte
+	sums []uint32
+}
+
+// MemStore keeps replicas on the heap. PerByteDelay, if non-zero, charges
+// write latency proportional to the bytes written — the paper's T_w knob
+// (checksum verification + local disk write time per packet).
+type MemStore struct {
+	mu sync.Mutex
+	// Clk is the time source used for write-delay injection.
+	Clk clock.Clock
+	// PerByteDelay charges this much latency per byte written.
+	PerByteDelay time.Duration
+
+	replicas map[block.ID]*memReplica
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		Clk:      clock.System,
+		replicas: make(map[block.ID]*memReplica),
+	}
+}
+
+type memWriter struct {
+	store     *MemStore
+	rep       *memReplica
+	chunker   *checksum.Chunked
+	committed bool
+	closed    bool
+}
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.closed || w.committed {
+		return 0, ErrCommitted
+	}
+	if d := w.store.PerByteDelay; d > 0 && len(p) > 0 {
+		w.store.Clk.Sleep(time.Duration(len(p)) * d)
+	}
+	w.store.mu.Lock()
+	w.rep.data = append(w.rep.data, p...)
+	w.rep.info.Len = int64(len(w.rep.data))
+	w.store.mu.Unlock()
+	w.chunker.Write(p)
+	return len(p), nil
+}
+
+func (w *memWriter) Commit() error {
+	if w.closed {
+		return ErrCommitted
+	}
+	if w.committed {
+		return ErrCommitted
+	}
+	w.committed = true
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	w.rep.info.State = Finalized
+	w.rep.info.Block.NumBytes = w.rep.info.Len
+	w.rep.sums = w.chunker.Sums()
+	return nil
+}
+
+func (w *memWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.committed {
+		return nil
+	}
+	w.store.mu.Lock()
+	defer w.store.mu.Unlock()
+	// Abort: discard the temp replica if it is still ours.
+	if cur, ok := w.store.replicas[w.rep.info.Block.ID]; ok && cur == w.rep {
+		delete(w.store.replicas, w.rep.info.Block.ID)
+	}
+	return nil
+}
+
+// Create implements Store.
+func (s *MemStore) Create(b block.Block, overwrite bool) (BlockWriter, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.replicas[b.ID]; exists && !overwrite {
+		return nil, fmt.Errorf("%w: %v", ErrExists, b)
+	}
+	rep := &memReplica{info: ReplicaInfo{Block: b, State: Temp}}
+	s.replicas[b.ID] = rep
+	return &memWriter{store: s, rep: rep, chunker: checksum.NewChunked(checksum.DefaultChunkSize)}, nil
+}
+
+// Open implements Store.
+func (s *MemStore) Open(id block.ID) (io.ReadCloser, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.replicas[id]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	if rep.info.State != Finalized {
+		return nil, 0, fmt.Errorf("%w: blk_%d", ErrNotFinalized, id)
+	}
+	return io.NopCloser(bytes.NewReader(rep.data)), rep.info.Len, nil
+}
+
+// Sums implements Store.
+func (s *MemStore) Sums(id block.ID) ([]uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.replicas[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	if rep.info.State != Finalized {
+		return nil, fmt.Errorf("%w: blk_%d", ErrNotFinalized, id)
+	}
+	out := make([]uint32, len(rep.sums))
+	copy(out, rep.sums)
+	return out, nil
+}
+
+// Info implements Store.
+func (s *MemStore) Info(id block.ID) (ReplicaInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.replicas[id]
+	if !ok {
+		return ReplicaInfo{}, fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	return rep.info, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id block.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.replicas[id]; !ok {
+		return fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	delete(s.replicas, id)
+	return nil
+}
+
+// Blocks implements Store.
+func (s *MemStore) Blocks() []ReplicaInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ReplicaInfo, 0, len(s.replicas))
+	for _, rep := range s.replicas {
+		if rep.info.State == Finalized {
+			out = append(out, rep.info)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Block.ID < out[j].Block.ID })
+	return out
+}
+
+// UsedBytes implements Store.
+func (s *MemStore) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int64
+	for _, rep := range s.replicas {
+		total += rep.info.Len
+	}
+	return total
+}
+
+// VerifyBlock re-checksums a finalized replica against the sums captured
+// at commit time — a scrubber used by tests and fault-injection checks.
+func (s *MemStore) VerifyBlock(id block.ID) error {
+	s.mu.Lock()
+	rep, ok := s.replicas[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	if rep.info.State != Finalized {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: blk_%d", ErrNotFinalized, id)
+	}
+	data := rep.data
+	sums := rep.sums
+	s.mu.Unlock()
+	return checksum.Verify(data, sums, checksum.DefaultChunkSize)
+}
+
+// Corrupt flips a byte in a finalized replica (fault injection only).
+func (s *MemStore) Corrupt(id block.ID, offset int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.replicas[id]
+	if !ok || int64(len(rep.data)) <= offset {
+		return fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	rep.data[offset] ^= 0xff
+	return nil
+}
+
+var _ Store = (*MemStore)(nil)

@@ -1,0 +1,272 @@
+// Package topology models Hadoop's rack-aware network topology: a
+// two-level tree of racks and nodes. The namenode uses it to place
+// replicas ("second replica on a remote rack, third on the same rack as
+// the second") and to compute network distance between nodes.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// DefaultRack is the rack assigned to nodes registered without one,
+// mirroring Hadoop's /default-rack.
+const DefaultRack = "/default-rack"
+
+// Node is a member of the topology: a network location (rack) plus a name.
+type Node struct {
+	// Name identifies the node (host:port in a real cluster).
+	Name string
+	// Rack is the node's network location, e.g. "/rack-1".
+	Rack string
+}
+
+func (n Node) String() string { return n.Rack + "/" + n.Name }
+
+// Topology is a concurrency-safe rack/node tree.
+type Topology struct {
+	mu    sync.RWMutex
+	racks map[string][]string // rack -> sorted node names
+	nodes map[string]string   // node name -> rack
+}
+
+// New returns an empty topology.
+func New() *Topology {
+	return &Topology{
+		racks: make(map[string][]string),
+		nodes: make(map[string]string),
+	}
+}
+
+// Add registers a node under a rack. An empty rack means DefaultRack.
+// Re-adding an existing node moves it to the new rack.
+func (t *Topology) Add(name, rack string) {
+	if rack == "" {
+		rack = DefaultRack
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if old, ok := t.nodes[name]; ok {
+		t.removeLocked(name, old)
+	}
+	t.nodes[name] = rack
+	list := t.racks[rack]
+	i := sort.SearchStrings(list, name)
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = name
+	t.racks[rack] = list
+}
+
+// Remove deletes a node. Removing an unknown node is a no-op.
+func (t *Topology) Remove(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rack, ok := t.nodes[name]; ok {
+		t.removeLocked(name, rack)
+		delete(t.nodes, name)
+	}
+}
+
+func (t *Topology) removeLocked(name, rack string) {
+	list := t.racks[rack]
+	i := sort.SearchStrings(list, name)
+	if i < len(list) && list[i] == name {
+		list = append(list[:i], list[i+1:]...)
+	}
+	if len(list) == 0 {
+		delete(t.racks, rack)
+	} else {
+		t.racks[rack] = list
+	}
+}
+
+// Contains reports whether the node is registered.
+func (t *Topology) Contains(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.nodes[name]
+	return ok
+}
+
+// RackOf returns the rack of a node and whether the node is known.
+func (t *Topology) RackOf(name string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	r, ok := t.nodes[name]
+	return r, ok
+}
+
+// SameRack reports whether two known nodes share a rack. Unknown nodes are
+// never on the same rack as anything.
+func (t *Topology) SameRack(a, b string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ra, oka := t.nodes[a]
+	rb, okb := t.nodes[b]
+	return oka && okb && ra == rb
+}
+
+// Distance returns the Hadoop-style network distance between two nodes:
+// 0 for the same node, 2 for the same rack, 4 for different racks.
+// Unknown nodes are treated as off-cluster (distance 6).
+func (t *Topology) Distance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ra, oka := t.nodes[a]
+	rb, okb := t.nodes[b]
+	switch {
+	case !oka || !okb:
+		return 6
+	case ra == rb:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// NumNodes returns the number of registered nodes.
+func (t *Topology) NumNodes() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.nodes)
+}
+
+// NumRacks returns the number of non-empty racks.
+func (t *Topology) NumRacks() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.racks)
+}
+
+// Racks returns the sorted list of rack names.
+func (t *Topology) Racks() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.racks))
+	for r := range t.racks {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Nodes returns all node names, sorted.
+func (t *Topology) Nodes() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.nodes))
+	for n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesInRack returns the sorted node names in a rack (nil if none).
+func (t *Topology) NodesInRack(rack string) []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	list := t.racks[rack]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make([]string, len(list))
+	copy(out, list)
+	return out
+}
+
+// exclSet answers membership questions for an exclusion list.
+type exclSet map[string]bool
+
+func newExclSet(excluded []string) exclSet {
+	s := make(exclSet, len(excluded))
+	for _, e := range excluded {
+		s[e] = true
+	}
+	return s
+}
+
+// ChooseRandom returns a uniformly random registered node not in excluded,
+// using rng. It returns false if every node is excluded.
+func (t *Topology) ChooseRandom(rng *rand.Rand, excluded []string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chooseFromLocked(rng, t.allLocked(), newExclSet(excluded))
+}
+
+// ChooseRandomInRack returns a random node within rack, not in excluded.
+func (t *Topology) ChooseRandomInRack(rng *rand.Rand, rack string, excluded []string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.chooseFromLocked(rng, t.racks[rack], newExclSet(excluded))
+}
+
+// ChooseRandomRemoteRack returns a random node whose rack differs from the
+// rack of refNode, not in excluded. If refNode is unknown, any node
+// qualifies. It returns false when no such node exists.
+func (t *Topology) ChooseRandomRemoteRack(rng *rand.Rand, refNode string, excluded []string) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	refRack := t.nodes[refNode]
+	excl := newExclSet(excluded)
+	var pool []string
+	for rack, nodes := range t.racks {
+		if rack == refRack {
+			continue
+		}
+		pool = append(pool, nodes...)
+	}
+	sort.Strings(pool)
+	return t.chooseFromLocked(rng, pool, excl)
+}
+
+func (t *Topology) allLocked() []string {
+	out := make([]string, 0, len(t.nodes))
+	for n := range t.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (t *Topology) chooseFromLocked(rng *rand.Rand, pool []string, excl exclSet) (string, bool) {
+	candidates := pool[:0:0]
+	for _, n := range pool {
+		if !excl[n] {
+			candidates = append(candidates, n)
+		}
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	return candidates[rng.Intn(len(candidates))], true
+}
+
+// Validate checks internal consistency (every node's rack lists it exactly
+// once). It exists for tests and debugging.
+func (t *Topology) Validate() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	seen := 0
+	for rack, list := range t.racks {
+		if !sort.StringsAreSorted(list) {
+			return fmt.Errorf("topology: rack %q node list not sorted", rack)
+		}
+		for _, n := range list {
+			if t.nodes[n] != rack {
+				return fmt.Errorf("topology: node %q listed in rack %q but maps to %q", n, rack, t.nodes[n])
+			}
+			seen++
+		}
+	}
+	if seen != len(t.nodes) {
+		return fmt.Errorf("topology: %d nodes in racks, %d in node map", seen, len(t.nodes))
+	}
+	return nil
+}

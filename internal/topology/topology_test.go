@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func build(t *testing.T) *Topology {
+	t.Helper()
+	tp := New()
+	tp.Add("dn1", "/rack-a")
+	tp.Add("dn2", "/rack-a")
+	tp.Add("dn3", "/rack-a")
+	tp.Add("dn4", "/rack-b")
+	tp.Add("dn5", "/rack-b")
+	return tp
+}
+
+func TestAddRemove(t *testing.T) {
+	tp := build(t)
+	if tp.NumNodes() != 5 || tp.NumRacks() != 2 {
+		t.Fatalf("nodes=%d racks=%d, want 5/2", tp.NumNodes(), tp.NumRacks())
+	}
+	tp.Remove("dn1")
+	if tp.Contains("dn1") {
+		t.Fatal("dn1 still present after Remove")
+	}
+	tp.Remove("dn1") // idempotent
+	if tp.NumNodes() != 4 {
+		t.Fatalf("nodes=%d after remove, want 4", tp.NumNodes())
+	}
+	tp.Remove("dn4")
+	tp.Remove("dn5")
+	if tp.NumRacks() != 1 {
+		t.Fatalf("racks=%d after emptying rack-b, want 1", tp.NumRacks())
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReAddMovesRack(t *testing.T) {
+	tp := build(t)
+	tp.Add("dn1", "/rack-b")
+	if r, _ := tp.RackOf("dn1"); r != "/rack-b" {
+		t.Fatalf("rack of dn1 = %q, want /rack-b", r)
+	}
+	if tp.NumNodes() != 5 {
+		t.Fatalf("nodes=%d after move, want 5", tp.NumNodes())
+	}
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultRack(t *testing.T) {
+	tp := New()
+	tp.Add("solo", "")
+	if r, ok := tp.RackOf("solo"); !ok || r != DefaultRack {
+		t.Fatalf("rack = %q ok=%v, want %q", r, ok, DefaultRack)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tp := build(t)
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"dn1", "dn1", 0},
+		{"dn1", "dn2", 2},
+		{"dn1", "dn4", 4},
+		{"dn1", "ghost", 6},
+		{"ghost", "phantom2", 6},
+	}
+	for _, c := range cases {
+		if got := tp.Distance(c.a, c.b); got != c.want {
+			t.Errorf("Distance(%s,%s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSameRack(t *testing.T) {
+	tp := build(t)
+	if !tp.SameRack("dn1", "dn2") {
+		t.Error("dn1/dn2 should share a rack")
+	}
+	if tp.SameRack("dn1", "dn4") {
+		t.Error("dn1/dn4 should not share a rack")
+	}
+	if tp.SameRack("dn1", "ghost") {
+		t.Error("unknown node should never share a rack")
+	}
+}
+
+func TestChooseRandomExclusion(t *testing.T) {
+	tp := build(t)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		n, ok := tp.ChooseRandom(rng, []string{"dn1", "dn2", "dn3", "dn4"})
+		if !ok || n != "dn5" {
+			t.Fatalf("ChooseRandom = %q ok=%v, want dn5", n, ok)
+		}
+	}
+	if _, ok := tp.ChooseRandom(rng, tp.Nodes()); ok {
+		t.Fatal("ChooseRandom succeeded with all nodes excluded")
+	}
+}
+
+func TestChooseRandomRemoteRack(t *testing.T) {
+	tp := build(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		n, ok := tp.ChooseRandomRemoteRack(rng, "dn1", nil)
+		if !ok {
+			t.Fatal("no remote-rack node found")
+		}
+		if tp.SameRack(n, "dn1") {
+			t.Fatalf("remote-rack choice %q shares rack with dn1", n)
+		}
+	}
+	// Unknown reference: everything qualifies.
+	if _, ok := tp.ChooseRandomRemoteRack(rng, "ghost", nil); !ok {
+		t.Fatal("unknown ref node should allow any node")
+	}
+	// Single-rack topology has no remote rack.
+	single := New()
+	single.Add("a", "/r")
+	single.Add("b", "/r")
+	if _, ok := single.ChooseRandomRemoteRack(rng, "a", nil); ok {
+		t.Fatal("single-rack topology returned a remote-rack node")
+	}
+}
+
+func TestChooseRandomInRack(t *testing.T) {
+	tp := build(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		n, ok := tp.ChooseRandomInRack(rng, "/rack-b", []string{"dn4"})
+		if !ok || n != "dn5" {
+			t.Fatalf("in-rack choice = %q ok=%v, want dn5", n, ok)
+		}
+	}
+	if _, ok := tp.ChooseRandomInRack(rng, "/no-such-rack", nil); ok {
+		t.Fatal("choice from missing rack succeeded")
+	}
+}
+
+func TestNodesInRackCopy(t *testing.T) {
+	tp := build(t)
+	got := tp.NodesInRack("/rack-a")
+	got[0] = "mutated"
+	again := tp.NodesInRack("/rack-a")
+	if again[0] == "mutated" {
+		t.Fatal("NodesInRack returned internal slice")
+	}
+}
+
+// Property: after an arbitrary sequence of adds and removes the topology
+// validates and node membership matches a model map.
+func TestQuickModelEquivalence(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tp := New()
+		model := map[string]string{}
+		for _, op := range ops {
+			node := fmt.Sprintf("n%d", op%31)
+			rack := fmt.Sprintf("/r%d", (op>>5)%7)
+			if op%3 == 0 {
+				tp.Remove(node)
+				delete(model, node)
+			} else {
+				tp.Add(node, rack)
+				model[node] = rack
+			}
+		}
+		if tp.Validate() != nil {
+			return false
+		}
+		if tp.NumNodes() != len(model) {
+			return false
+		}
+		for n, r := range model {
+			if got, ok := tp.RackOf(n); !ok || got != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Distance is symmetric and satisfies the fixed level values.
+func TestQuickDistanceSymmetry(t *testing.T) {
+	tp := build(t)
+	names := append(tp.Nodes(), "ghost")
+	f := func(i, j uint8) bool {
+		a := names[int(i)%len(names)]
+		b := names[int(j)%len(names)]
+		d1, d2 := tp.Distance(a, b), tp.Distance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		switch d1 {
+		case 0, 2, 4, 6:
+			return true
+		}
+		return false
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed or broken connection.
+var ErrClosed = errors.New("transport: connection closed")
+
+// pipeBuf is one direction of an in-memory connection: a bounded FIFO of
+// bytes with blocking reads and writes, modelling a TCP socket buffer.
+type pipeBuf struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	data     []byte
+	capacity int
+	closed   bool // write side closed cleanly; drained reads return io.EOF
+	broken   bool // connection destroyed; all operations fail
+}
+
+func newPipeBuf(capacity int) *pipeBuf {
+	if capacity <= 0 {
+		capacity = 256 << 10
+	}
+	p := &pipeBuf{capacity: capacity}
+	p.notEmpty = sync.NewCond(&p.mu)
+	p.notFull = sync.NewCond(&p.mu)
+	return p
+}
+
+// Write appends p, blocking while the buffer is full.
+func (b *pipeBuf) Write(p []byte) (int, error) {
+	written := 0
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for written < len(p) {
+		if b.broken {
+			return written, ErrClosed
+		}
+		if b.closed {
+			return written, io.ErrClosedPipe
+		}
+		space := b.capacity - len(b.data)
+		if space == 0 {
+			b.notFull.Wait()
+			continue
+		}
+		n := len(p) - written
+		if n > space {
+			n = space
+		}
+		b.data = append(b.data, p[written:written+n]...)
+		written += n
+		b.notEmpty.Broadcast()
+	}
+	return written, nil
+}
+
+// Read takes bytes, blocking while the buffer is empty.
+func (b *pipeBuf) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if b.broken {
+			return 0, ErrClosed
+		}
+		if len(b.data) > 0 {
+			n := copy(p, b.data)
+			b.data = b.data[n:]
+			if len(b.data) == 0 {
+				b.data = nil // let the backing array be reclaimed
+			}
+			b.notFull.Broadcast()
+			return n, nil
+		}
+		if b.closed {
+			return 0, io.EOF
+		}
+		b.notEmpty.Wait()
+	}
+}
+
+// CloseWrite ends the stream cleanly: pending data remains readable, then
+// readers get io.EOF.
+func (b *pipeBuf) CloseWrite() {
+	b.mu.Lock()
+	b.closed = true
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}
+
+// Break destroys the stream: all blocked and future operations fail.
+func (b *pipeBuf) Break() {
+	b.mu.Lock()
+	b.broken = true
+	b.data = nil
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,367 @@
+// Package transport abstracts the byte streams the data-transfer protocol
+// runs over. Two implementations are provided: an in-memory network with
+// per-link bandwidth shaping and fault injection (the default substrate
+// for tests and examples), and a TCP network for running a cluster across
+// real sockets. Both apply a LinkPolicy, the software analogue of the
+// paper's `tc` bandwidth throttling.
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ratelimit"
+)
+
+// Conn is a bidirectional byte stream between two named endpoints.
+type Conn interface {
+	io.ReadWriteCloser
+	// LocalAddr and RemoteAddr return the endpoint names used at Dial
+	// time (for the accepted side, the dialer's claimed identity).
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections for one address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// Network creates listeners and outbound connections. Dial carries the
+// caller's own address so the network can shape the link between the two
+// endpoints.
+type Network interface {
+	Listen(addr string) (Listener, error)
+	Dial(local, remote string) (Conn, error)
+}
+
+// LinkPolicy decides the shaping of a directed link. Limits returns the
+// token buckets every byte flowing src→dst must pass (nil entries are
+// ignored) and the one-way propagation latency.
+type LinkPolicy interface {
+	Limits(src, dst string) ([]*ratelimit.Limiter, time.Duration)
+}
+
+// UnshapedPolicy applies no limits and no latency.
+type UnshapedPolicy struct{}
+
+// Limits implements LinkPolicy.
+func (UnshapedPolicy) Limits(src, dst string) ([]*ratelimit.Limiter, time.Duration) {
+	return nil, 0
+}
+
+// ---------------------------------------------------------------------
+// In-memory network
+// ---------------------------------------------------------------------
+
+// MemNetwork is an in-process Network. Connections are pairs of bounded
+// pipes shaped by the LinkPolicy. It supports fault injection via
+// Partition.
+type MemNetwork struct {
+	mu          sync.Mutex
+	policy      LinkPolicy
+	clk         clock.Clock
+	listeners   map[string]*memListener
+	conns       map[string]map[*memConn]bool // endpoint -> live conns
+	partitioned map[string]bool
+	bufSize     int
+}
+
+// NewMemNetwork returns an in-memory network shaped by policy (nil means
+// unshaped).
+func NewMemNetwork(policy LinkPolicy) *MemNetwork {
+	if policy == nil {
+		policy = UnshapedPolicy{}
+	}
+	return &MemNetwork{
+		policy:      policy,
+		clk:         clock.System,
+		listeners:   make(map[string]*memListener),
+		conns:       make(map[string]map[*memConn]bool),
+		partitioned: make(map[string]bool),
+		bufSize:     256 << 10,
+	}
+}
+
+// SetPolicy swaps the link policy (affects connections made afterwards).
+func (n *MemNetwork) SetPolicy(p LinkPolicy) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == nil {
+		p = UnshapedPolicy{}
+	}
+	n.policy = p
+}
+
+type memListener struct {
+	net    *MemNetwork
+	addr   string
+	accept chan *memConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c, ok := <-l.accept:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		if l.net.listeners[l.addr] == l {
+			delete(l.net.listeners, l.addr)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }
+
+// Listen registers a listener for addr.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q already listening", addr)
+	}
+	l := &memListener{
+		net:    n,
+		addr:   addr,
+		accept: make(chan *memConn, 16),
+		done:   make(chan struct{}),
+	}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// memConn is one endpoint of an in-memory connection.
+type memConn struct {
+	local, remote string
+	readBuf       *pipeBuf // data flowing remote -> local
+	writeBuf      *pipeBuf // data flowing local -> remote
+	r             io.Reader
+	w             io.Writer
+	net           *MemNetwork
+	closeOnce     sync.Once
+	peer          *memConn
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *memConn) LocalAddr() string           { return c.local }
+func (c *memConn) RemoteAddr() string          { return c.remote }
+
+func (c *memConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.writeBuf.CloseWrite()
+		// Reads on this side stop delivering once the peer also closes;
+		// breaking the read buffer here would discard in-flight data, so
+		// only the write direction is signalled, like TCP FIN.
+		c.net.forget(c)
+	})
+	return nil
+}
+
+// abort hard-breaks both directions (partition / crash).
+func (c *memConn) abort() {
+	c.readBuf.Break()
+	c.writeBuf.Break()
+	c.net.forget(c)
+}
+
+func (n *MemNetwork) forget(c *memConn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if set := n.conns[c.local]; set != nil {
+		delete(set, c)
+	}
+}
+
+func (n *MemNetwork) remember(c *memConn) {
+	set := n.conns[c.local]
+	if set == nil {
+		set = make(map[*memConn]bool)
+		n.conns[c.local] = set
+	}
+	set[c] = true
+}
+
+// Dial connects local to remote, applying link shaping in each direction.
+func (n *MemNetwork) Dial(local, remote string) (Conn, error) {
+	n.mu.Lock()
+	if n.partitioned[local] || n.partitioned[remote] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: %w: partitioned", ErrClosed)
+	}
+	l := n.listeners[remote]
+	policy := n.policy
+	bufSize := n.bufSize
+	n.mu.Unlock()
+	if l == nil {
+		return nil, fmt.Errorf("transport: no listener at %q", remote)
+	}
+
+	forward := newPipeBuf(bufSize)  // local -> remote
+	backward := newPipeBuf(bufSize) // remote -> local
+
+	fwLims, fwLat := policy.Limits(local, remote)
+	bwLims, bwLat := policy.Limits(remote, local)
+
+	dialer := &memConn{
+		local: local, remote: remote,
+		readBuf: backward, writeBuf: forward,
+		r:   ratelimit.NewReader(backward),
+		w:   ratelimit.NewWriter(forward, fwLims...),
+		net: n,
+	}
+	acceptor := &memConn{
+		local: remote, remote: local,
+		readBuf: forward, writeBuf: backward,
+		r:   ratelimit.NewReader(forward),
+		w:   ratelimit.NewWriter(backward, bwLims...),
+		net: n,
+	}
+	dialer.peer, acceptor.peer = acceptor, dialer
+
+	// Connection setup costs one round trip.
+	if rtt := fwLat + bwLat; rtt > 0 {
+		n.clk.Sleep(rtt)
+	}
+
+	select {
+	case l.accept <- acceptor:
+	case <-l.done:
+		return nil, ErrClosed
+	}
+
+	n.mu.Lock()
+	n.remember(dialer)
+	n.remember(acceptor)
+	n.mu.Unlock()
+	return dialer, nil
+}
+
+// Partition isolates addr: existing connections break and new dials
+// to or from addr fail, until Heal is called. It models a node crash or
+// network cut for fault-tolerance tests.
+func (n *MemNetwork) Partition(addr string) {
+	n.mu.Lock()
+	n.partitioned[addr] = true
+	var victims []*memConn
+	for c := range n.conns[addr] {
+		victims = append(victims, c, c.peer)
+	}
+	n.mu.Unlock()
+	for _, c := range victims {
+		c.abort()
+	}
+}
+
+// Heal removes a partition.
+func (n *MemNetwork) Heal(addr string) {
+	n.mu.Lock()
+	delete(n.partitioned, addr)
+	n.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// TCP network
+// ---------------------------------------------------------------------
+
+// TCPNetwork runs the protocol over real sockets. The LinkPolicy still
+// applies (limiters wrap the socket), so throttled experiments can run
+// over loopback too.
+type TCPNetwork struct {
+	policy LinkPolicy
+}
+
+// NewTCPNetwork returns a socket-backed Network (nil policy = unshaped).
+func NewTCPNetwork(policy LinkPolicy) *TCPNetwork {
+	if policy == nil {
+		policy = UnshapedPolicy{}
+	}
+	return &TCPNetwork{policy: policy}
+}
+
+type tcpConn struct {
+	net.Conn
+	local, remote string
+	r             io.Reader
+	w             io.Writer
+}
+
+func (c *tcpConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *tcpConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *tcpConn) LocalAddr() string           { return c.local }
+func (c *tcpConn) RemoteAddr() string          { return c.remote }
+
+type tcpListener struct {
+	net.Listener
+	policy LinkPolicy
+	addr   string
+}
+
+func (l *tcpListener) Accept() (Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	remote := c.RemoteAddr().String()
+	lims, _ := l.policy.Limits(l.addr, remote)
+	return &tcpConn{
+		Conn: c, local: l.addr, remote: remote,
+		r: ratelimit.NewReader(c),
+		w: ratelimit.NewWriter(c, lims...),
+	}, nil
+}
+
+func (l *tcpListener) Addr() string { return l.addr }
+
+// Listen opens a TCP listener. addr may be "host:0" to pick a free port;
+// Addr() reports the resolved address.
+func (n *TCPNetwork) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{Listener: l, policy: n.policy, addr: l.Addr().String()}, nil
+}
+
+// Dial connects over TCP, shaping the outbound direction per the policy.
+func (n *TCPNetwork) Dial(local, remote string) (Conn, error) {
+	c, err := net.DialTimeout("tcp", remote, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	lims, lat := n.policy.Limits(local, remote)
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	return &tcpConn{
+		Conn: c, local: local, remote: remote,
+		r: ratelimit.NewReader(c),
+		w: ratelimit.NewWriter(c, lims...),
+	}, nil
+}
+
+// Ensure interface satisfaction.
+var (
+	_ Network = (*MemNetwork)(nil)
+	_ Network = (*TCPNetwork)(nil)
+)

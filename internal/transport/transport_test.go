@@ -1,0 +1,320 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/ratelimit"
+)
+
+func TestMemDialListen(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, err := n.Listen("dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("Accept: %v", err)
+			return
+		}
+		defer c.Close()
+		if c.LocalAddr() != "dn1" || c.RemoteAddr() != "client" {
+			t.Errorf("accepted addrs = %s/%s", c.LocalAddr(), c.RemoteAddr())
+		}
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Errorf("read: %v", err)
+			return
+		}
+		c.Write(bytes.ToUpper(buf))
+	}()
+
+	c, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.LocalAddr() != "client" || c.RemoteAddr() != "dn1" {
+		t.Fatalf("dialer addrs = %s/%s", c.LocalAddr(), c.RemoteAddr())
+	}
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	reply := make([]byte, 5)
+	if _, err := io.ReadFull(c, reply); err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "HELLO" {
+		t.Fatalf("reply = %q", reply)
+	}
+	wg.Wait()
+}
+
+func TestMemDialNoListener(t *testing.T) {
+	n := NewMemNetwork(nil)
+	if _, err := n.Dial("a", "nowhere"); err == nil {
+		t.Fatal("dial to missing listener succeeded")
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("x"); err == nil {
+		t.Fatal("duplicate listen succeeded")
+	}
+	l.Close()
+	if _, err := n.Listen("x"); err != nil {
+		t.Fatalf("re-listen after close: %v", err)
+	}
+}
+
+func TestMemCloseGivesEOF(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		data, err := io.ReadAll(c)
+		if err != nil {
+			t.Errorf("ReadAll: %v", err)
+		}
+		if string(data) != "bye" {
+			t.Errorf("data = %q", data)
+		}
+	}()
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Write([]byte("bye"))
+	c.Close()
+	<-done
+}
+
+func TestMemListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	errs := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("Accept returned nil error after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not unblock after Close")
+	}
+}
+
+func TestPartitionBreaksConns(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("dn1")
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := <-accepted
+
+	n.Partition("dn1")
+
+	if _, err := c.Write(make([]byte, 1<<20)); err == nil {
+		t.Fatal("write to partitioned peer succeeded")
+	}
+	if _, err := srv.Read(make([]byte, 1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read on partitioned conn: err = %v, want ErrClosed", err)
+	}
+	if _, err := n.Dial("client", "dn1"); err == nil {
+		t.Fatal("dial to partitioned node succeeded")
+	}
+
+	n.Heal("dn1")
+	go func() { l.Accept() }()
+	if _, err := n.Dial("client", "dn1"); err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+}
+
+// shapedPolicy throttles one direction for shaping tests.
+type shapedPolicy struct {
+	lim *ratelimit.Limiter
+	src string
+}
+
+func (p shapedPolicy) Limits(src, dst string) ([]*ratelimit.Limiter, time.Duration) {
+	if src == p.src {
+		return []*ratelimit.Limiter{p.lim}, 0
+	}
+	return nil, 0
+}
+
+func TestShapingLimitsThroughput(t *testing.T) {
+	// 1 MiB through a 4 MiB/s link should take ≈250 ms.
+	lim := ratelimit.New(clock.System, 4<<20, 64<<10)
+	n := NewMemNetwork(shapedPolicy{lim: lim, src: "client"})
+	l, _ := n.Listen("dn1")
+	var got int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		got, _ = io.Copy(io.Discard, c)
+	}()
+	c, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	payload := make([]byte, 1<<20)
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	<-done
+	elapsed := time.Since(start)
+	if got != 1<<20 {
+		t.Fatalf("received %d bytes, want %d", got, 1<<20)
+	}
+	if elapsed < 180*time.Millisecond || elapsed > 800*time.Millisecond {
+		t.Fatalf("transfer took %v, want ≈250ms", elapsed)
+	}
+}
+
+func TestPipeBufBackpressure(t *testing.T) {
+	b := newPipeBuf(8)
+	wrote := make(chan struct{})
+	go func() {
+		b.Write(make([]byte, 16)) // must block halfway
+		close(wrote)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-wrote:
+		t.Fatal("write of 16 into capacity-8 pipe returned before reads")
+	default:
+	}
+	buf := make([]byte, 16)
+	n := 0
+	for n < 16 {
+		m, err := b.Read(buf[n:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += m
+	}
+	<-wrote
+}
+
+func TestPipeBufBreakUnblocksReader(t *testing.T) {
+	b := newPipeBuf(4)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := b.Read(make([]byte, 1)) // empty pipe: blocks
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Break()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("read err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Break did not unblock reader")
+	}
+}
+
+func TestPipeBufBreakUnblocksWriter(t *testing.T) {
+	b := newPipeBuf(4)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := b.Write(make([]byte, 100)) // full pipe: blocks
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Break()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("write err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Break did not unblock writer")
+	}
+}
+
+func TestPipeBufWriteAfterCloseWrite(t *testing.T) {
+	b := newPipeBuf(16)
+	b.CloseWrite()
+	if _, err := b.Write([]byte("x")); err != io.ErrClosedPipe {
+		t.Fatalf("err = %v, want io.ErrClosedPipe", err)
+	}
+}
+
+func TestTCPNetwork(t *testing.T) {
+	n := NewTCPNetwork(nil)
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c) // echo
+	}()
+	c, err := n.Dial("client", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("ping over tcp")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}

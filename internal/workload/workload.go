@@ -1,0 +1,137 @@
+// Package workload generates deterministic test and benchmark inputs:
+// reproducible pseudo-random file contents (with verification), the
+// paper's file-size sweeps, and helpers for building contention plans.
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// GB and MB are the units the paper's workloads use.
+const (
+	MB int64 = 1 << 20
+	GB int64 = 1 << 30
+)
+
+// Data returns n deterministic pseudo-random bytes for a seed. Equal
+// seeds and sizes always produce equal bytes, so writers and verifiers
+// can regenerate the payload independently. The bytes are exactly what
+// NewReader(seed, n) streams.
+func Data(seed int64, n int) []byte {
+	out := make([]byte, n)
+	if _, err := io.ReadFull(NewReader(seed, int64(n)), out); err != nil {
+		panic(err) // the reader yields exactly n bytes by construction
+	}
+	return out
+}
+
+// Reader streams the same bytes Data(seed, n) would return, without
+// materializing them — for workloads larger than memory.
+type Reader struct {
+	rng    *rand.Rand
+	remain int64
+	buf    []byte
+}
+
+// NewReader returns a reader over n deterministic bytes.
+func NewReader(seed int64, n int64) *Reader {
+	return &Reader{rng: rand.New(rand.NewSource(seed)), remain: n}
+}
+
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.remain <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remain {
+		p = p[:r.remain]
+	}
+	// Bytes are drawn through a fixed 8-byte buffer so the stream is
+	// identical no matter how reads are chunked.
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			var tmp [8]byte
+			v := r.rng.Uint64()
+			for i := 0; i < 8; i++ {
+				tmp[i] = byte(v >> (8 * i))
+			}
+			r.buf = tmp[:]
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	r.remain -= int64(n)
+	return n, nil
+}
+
+// Verifier consumes a stream and checks it against the deterministic
+// bytes of a seed; any divergence is reported with its offset.
+type Verifier struct {
+	want   *Reader
+	offset int64
+	err    error
+}
+
+// NewVerifier builds a verifier for n bytes of seed data.
+func NewVerifier(seed int64, n int64) *Verifier {
+	return &Verifier{want: NewReader(seed, n)}
+}
+
+// Write implements io.Writer; copy the stream to verify into it.
+func (v *Verifier) Write(p []byte) (int, error) {
+	if v.err != nil {
+		return 0, v.err
+	}
+	want := make([]byte, len(p))
+	if _, err := io.ReadFull(v.want, want); err != nil {
+		v.err = fmt.Errorf("workload: stream longer than expected at offset %d", v.offset)
+		return 0, v.err
+	}
+	for i := range p {
+		if p[i] != want[i] {
+			v.err = fmt.Errorf("workload: byte mismatch at offset %d: got %02x want %02x",
+				v.offset+int64(i), p[i], want[i])
+			return 0, v.err
+		}
+	}
+	v.offset += int64(len(p))
+	return len(p), nil
+}
+
+// Close checks that the full expected length arrived.
+func (v *Verifier) Close() error {
+	if v.err != nil {
+		return v.err
+	}
+	if v.want.remain > 0 {
+		return fmt.Errorf("workload: stream truncated: %d bytes missing", v.want.remain)
+	}
+	return nil
+}
+
+// SizeSweep returns the paper's 1–8 GB file-size ladder, scaled down by
+// the given divisor (scale 1 = paper sizes).
+func SizeSweep(scale int64) []int64 {
+	if scale < 1 {
+		scale = 1
+	}
+	sizes := []int64{1 * GB, 2 * GB, 4 * GB, 8 * GB}
+	out := make([]int64, len(sizes))
+	for i, s := range sizes {
+		out[i] = s / scale
+	}
+	return out
+}
+
+// SlowNodePlan maps the first k datanode indices to a Mbps limit, the
+// §V-B.2 contention pattern.
+func SlowNodePlan(k int, mbps float64) map[int]float64 {
+	plan := make(map[int]float64, k)
+	for i := 0; i < k; i++ {
+		plan[i] = mbps
+	}
+	return plan
+}

@@ -1,0 +1,165 @@
+package smarth_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	smarth "repro"
+	"repro/internal/workload"
+)
+
+// TestFacadeRoundTrip drives the library exactly as the README's
+// quickstart does, through the public façade only.
+func TestFacadeRoundTrip(t *testing.T) {
+	c, err := smarth.StartCluster(smarth.ClusterConfig{NumDatanodes: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	cl, err := c.NewClient("facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.Data(77, 700<<10)
+	w, err := cl.CreateSmarth("/facade", smarth.WriteOptions{
+		Replication: 3, BlockSize: 256 << 10, PacketSize: 32 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cl.ReadAll("/facade")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatal("facade round trip corrupted data")
+	}
+
+	files, err := cl.List("")
+	if err != nil || len(files) != 1 || files[0].Path != "/facade" {
+		t.Fatalf("List = %+v, %v", files, err)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	r := smarth.Simulate(smarth.SimConfig{
+		Preset:   smarth.HeteroCluster,
+		FileSize: 512 << 20,
+		Mode:     smarth.ModeSmarth,
+		Seed:     2,
+	})
+	if r.Duration <= 0 || r.Blocks != 8 {
+		t.Fatalf("simulate result = %+v", r)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	exps := smarth.Experiments()
+	if len(exps) < 14 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{
+		"figure5a", "figure5b", "figure5c", "figure5d", "figure5e", "figure5f",
+		"figure6", "figure7", "figure8", "figure9",
+		"figure10", "figure11a", "figure11b", "figure12a", "figure12b",
+		"figure13",
+	} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := smarth.ExperimentByID("figure13"); !ok {
+		t.Fatal("ExperimentByID(figure13) failed")
+	}
+	if _, ok := smarth.ExperimentByID("figure99"); ok {
+		t.Fatal("ExperimentByID accepted junk")
+	}
+	if smarth.Table1() == "" {
+		t.Fatal("Table1 empty")
+	}
+}
+
+// TestExperimentScaledRun executes one scaled-down figure end to end and
+// sanity-checks the formatting path.
+func TestExperimentScaledRun(t *testing.T) {
+	e, _ := smarth.ExperimentByID("figure13")
+	pts := e.Run(16) // 1/16th of the paper's sizes
+	if len(pts) != 4 {
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	out := smarth.FormatPoints(e, pts)
+	for _, want := range []string{"figure13", "1GB", "8GB", "HDFS", "SMARTH"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+	// SMARTH wins at the headline point even scaled down.
+	head := pts[len(pts)-1]
+	if head.Improvement() < 0.15 {
+		t.Errorf("scaled hetero improvement = %.0f%%, want > 15%%", head.Improvement()*100)
+	}
+}
+
+// ExampleSimulate reproduces the paper's headline comparison (Figure 13)
+// in a few hundred milliseconds of wall clock.
+func ExampleSimulate() {
+	cfg := smarth.SimConfig{
+		Preset:   smarth.HeteroCluster,
+		FileSize: 8 << 30,
+		Seed:     8,
+	}
+	cfg.Mode = smarth.ModeHDFS
+	hdfs := smarth.Simulate(cfg)
+	cfg.Mode = smarth.ModeSmarth
+	sm := smarth.Simulate(cfg)
+	fmt.Printf("HDFS uses %d pipeline at a time, SMARTH up to %d\n",
+		hdfs.PeakPipelines, sm.PeakPipelines)
+	fmt.Printf("SMARTH faster: %v\n", sm.Duration < hdfs.Duration)
+	// Output:
+	// HDFS uses 1 pipeline at a time, SMARTH up to 2
+	// SMARTH faster: true
+}
+
+// TestAllExperimentsScaled executes every registered experiment at 1/32
+// of the paper's sizes — fast enough for CI, and it exercises the same
+// sweep code paths the full benchmarks use.
+func TestAllExperimentsScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaled experiment sweep (~30s) skipped in -short mode")
+	}
+	for _, e := range smarth.Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			pts := e.Run(32)
+			if len(pts) == 0 {
+				t.Fatal("no points")
+			}
+			for _, p := range pts {
+				if p.HDFS.Duration <= 0 || p.Smarth.Duration <= 0 {
+					t.Fatalf("point %q has non-positive durations: %+v", p.Label, p)
+				}
+			}
+			if out := smarth.FormatPoints(e, pts); out == "" {
+				t.Fatal("empty formatting")
+			}
+		})
+	}
+}
