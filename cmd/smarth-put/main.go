@@ -30,13 +30,26 @@ func main() {
 	replication := flag.Int("replication", 3, "replication factor")
 	blockSize := flag.Int64("block", 64<<20, "block size in bytes")
 	verify := flag.Bool("verify", false, "read the file back and check its digest")
+	timeout := flag.Duration("timeout", 0,
+		"stall-detection bound: dial, setup-ack, ack-progress and per-RPC timeouts (FNFA gets 4x); 0 = library defaults")
 	flag.Parse()
 
+	var timeouts *client.Timeouts
+	if *timeout > 0 {
+		timeouts = &client.Timeouts{
+			Dial:        *timeout,
+			SetupAck:    *timeout,
+			FNFA:        4 * *timeout,
+			AckProgress: *timeout,
+			RPCCall:     *timeout,
+		}
+	}
 	net := transport.NewTCPNetwork(nil)
 	cl, err := client.New(client.Options{
 		Name:         fmt.Sprintf("put-%d", os.Getpid()),
 		NamenodeAddr: *nnAddr,
 		Network:      net,
+		Timeouts:     timeouts,
 	})
 	if err != nil {
 		fatal(err)

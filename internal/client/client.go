@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/block"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/nnapi"
@@ -34,6 +35,11 @@ type Options struct {
 	HeartbeatInterval time.Duration
 	// Seed drives the local-optimization randomness (0 = from clock).
 	Seed int64
+	// Timeouts bound the client's blocking points (dial, pipeline acks,
+	// namenode RPCs). nil selects DefaultTimeouts(); point at
+	// NoTimeouts() (or any zeroed fields) to restore the legacy
+	// block-forever behavior.
+	Timeouts *Timeouts
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -56,6 +62,9 @@ type WriteOptions struct {
 	// MaxPipelines caps concurrent SMARTH pipelines; 0 means the paper's
 	// rule, activeDatanodes / replication.
 	MaxPipelines int
+	// Timeouts overrides the client-level Timeouts for this write only;
+	// nil inherits the client's setting.
+	Timeouts *Timeouts
 }
 
 func (o *WriteOptions) applyDefaults() {
@@ -72,8 +81,9 @@ func (o *WriteOptions) applyDefaults() {
 
 // Client talks to one cluster.
 type Client struct {
-	opts Options
-	clk  clock.Clock
+	opts     Options
+	clk      clock.Clock
+	timeouts Timeouts
 
 	mu   sync.Mutex
 	nn   *rpc.Client
@@ -104,9 +114,14 @@ func New(opts Options) (*Client, error) {
 	if seed == 0 {
 		seed = opts.Clock.Now().UnixNano()
 	}
+	timeouts := DefaultTimeouts()
+	if opts.Timeouts != nil {
+		timeouts = *opts.Timeouts
+	}
 	c := &Client{
 		opts:     opts,
 		clk:      opts.Clock,
+		timeouts: timeouts,
 		rng:      rand.New(rand.NewSource(seed)),
 		recorder: core.NewRecorder(),
 		stopCh:   make(chan struct{}),
@@ -180,21 +195,56 @@ func (c *Client) nnClient() (*rpc.Client, error) {
 	if c.nn != nil {
 		return c.nn, nil
 	}
-	conn, err := rpc.Dial(c.opts.Network, c.opts.Name, c.opts.NamenodeAddr)
+	conn, err := transport.DialTimeout(c.opts.Network, c.opts.Name, c.opts.NamenodeAddr, c.timeouts.Dial, c.clk)
 	if err != nil {
 		return nil, err
 	}
-	c.nn = conn
-	return conn, nil
+	nn := rpc.NewClient(conn)
+	c.nn = nn
+	return nn, nil
 }
 
+// jitter spreads d to a uniform value in [d/2, 3d/2) so retrying clients
+// desynchronize instead of hammering the namenode in lockstep.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d)))
+}
+
+// callNN issues one namenode RPC with capped exponential backoff and
+// jitter across transport-level failures. Remote errors (the server
+// answered, and said no) are returned immediately — retrying those is
+// the application's decision. Each attempt gets a fresh RPCCall budget;
+// a timed-out attempt keeps the connection (a late response is simply
+// discarded), while any other transport failure drops it so the next
+// attempt redials.
 func (c *Client) callNN(method string, arg, reply any) error {
-	for attempt := 0; ; attempt++ {
+	const maxAttempts = 4
+	backoff := 50 * time.Millisecond
+	const maxBackoff = time.Second
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-c.stopCh:
+				return lastErr
+			case <-c.clk.After(c.jitter(backoff)):
+			}
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
 		cl, err := c.nnClient()
 		if err != nil {
-			return err
+			lastErr = err
+			continue
 		}
-		err = cl.Call(method, arg, reply)
+		err = cl.CallTimeout(method, arg, reply, c.timeouts.RPCCall, c.clk)
 		if err == nil {
 			return nil
 		}
@@ -202,16 +252,17 @@ func (c *Client) callNN(method string, arg, reply any) error {
 		if errors.As(err, &remote) {
 			return err
 		}
-		c.mu.Lock()
-		if c.nn == cl {
-			c.nn = nil
-		}
-		c.mu.Unlock()
-		cl.Close()
-		if attempt >= 1 {
-			return err
+		lastErr = err
+		if !transport.IsTimeout(err) {
+			c.mu.Lock()
+			if c.nn == cl {
+				c.nn = nil
+			}
+			c.mu.Unlock()
+			cl.Close()
 		}
 	}
+	return lastErr
 }
 
 // --- typed ClientProtocol wrappers ---
@@ -226,10 +277,13 @@ func (c *Client) createFile(path string, opts WriteOptions) error {
 	}, &nnapi.CreateResp{})
 }
 
-func (c *Client) addBlock(path string, mode proto.WriteMode, exclude []string) (nnapi.AddBlockResp, error) {
+// addBlock allocates the file's next block. prev is the last block this
+// writer was granted; the namenode uses it to de-duplicate retried
+// requests (callNN may retry an attempt the namenode already executed).
+func (c *Client) addBlock(path string, mode proto.WriteMode, exclude []string, prev block.Block) (nnapi.AddBlockResp, error) {
 	var resp nnapi.AddBlockResp
 	err := c.callNN(nnapi.MethodAddBlock, nnapi.AddBlockReq{
-		Path: path, Client: c.opts.Name, Mode: mode, Exclude: exclude,
+		Path: path, Client: c.opts.Name, Mode: mode, Exclude: exclude, Previous: prev,
 	}, &resp)
 	return resp, err
 }
@@ -241,9 +295,15 @@ func (c *Client) recoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockResp
 	return resp, err
 }
 
+// completeFile polls the namenode until every block reaches minimal
+// replication, backing off exponentially (10 ms doubling to a 500 ms
+// cap) within a fixed overall budget instead of the old fixed-cadence
+// 100×20 ms spin.
 func (c *Client) completeFile(path string) error {
-	deadline := 100
-	for i := 0; i < deadline; i++ {
+	const budget = 15 * time.Second
+	start := c.clk.Now()
+	backoff := 10 * time.Millisecond
+	for {
 		var resp nnapi.CompleteResp
 		if err := c.callNN(nnapi.MethodComplete, nnapi.CompleteReq{Path: path, Client: c.opts.Name}, &resp); err != nil {
 			return err
@@ -251,9 +311,19 @@ func (c *Client) completeFile(path string) error {
 		if resp.Done {
 			return nil
 		}
-		c.clk.Sleep(20 * time.Millisecond)
+		if c.clk.Now().Sub(start) >= budget {
+			return fmt.Errorf("client: complete %s: blocks not minimally replicated within %v", path, budget)
+		}
+		select {
+		case <-c.stopCh:
+			return errors.New("client: closed")
+		case <-c.clk.After(backoff):
+		}
+		backoff *= 2
+		if backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
 	}
-	return fmt.Errorf("client: complete %s: blocks not minimally replicated in time", path)
 }
 
 func (c *Client) clusterInfo() (nnapi.ClusterInfoResp, error) {

@@ -37,6 +37,9 @@ type hdfsWriter struct {
 	buf    []byte
 	closed bool
 	err    error
+	// lastBlock is the most recent block granted by addBlock, echoed back
+	// as Previous so retried allocations stay idempotent.
+	lastBlock block.Block
 }
 
 func (w *hdfsWriter) Write(p []byte) (int, error) {
@@ -83,10 +86,11 @@ func (w *hdfsWriter) Close() error {
 // flushBlock writes one block through a fresh pipeline, recovering per
 // Algorithm 3 on failure.
 func (w *hdfsWriter) flushBlock(data []byte) error {
-	resp, err := w.c.addBlock(w.path, w.opts.Mode, nil)
+	resp, err := w.c.addBlock(w.path, w.opts.Mode, nil, w.lastBlock)
 	if err != nil {
 		return err
 	}
+	w.lastBlock = resp.Located.Block
 	w.blockLaunched()
 	lb := resp.Located
 	if err := w.c.sendBlockSync(lb, data, w.opts); err != nil {
@@ -100,7 +104,7 @@ func (w *hdfsWriter) flushBlock(data []byte) error {
 // sendBlockSync opens a pipeline, streams the block, and waits for all
 // acks (the HDFS discipline; also used to resend recovered blocks).
 func (c *Client) sendBlockSync(lb block.LocatedBlock, data []byte, opts WriteOptions) error {
-	p, err := c.openPipeline(lb, opts.Mode)
+	p, err := c.openPipeline(lb, opts.Mode, c.resolveTimeouts(opts))
 	if err != nil {
 		return err
 	}

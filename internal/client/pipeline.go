@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/checksum"
+	"repro/internal/clock"
 	"repro/internal/proto"
+	"repro/internal/transport"
 )
 
 // pipelineError describes a failed pipeline with, when known, the index
@@ -65,16 +68,20 @@ func (p *pipelineConn) signalFNFA() {
 func (p *pipelineConn) close() { p.pc.Close() }
 
 // openPipeline dials the first datanode, performs pipeline setup, and
-// starts the responder goroutine.
-func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode) (*pipelineConn, error) {
+// starts the responder goroutine. The timeouts bound the dial, the
+// setup ack, and (for the pipeline's lifetime) per-operation data-path
+// progress in both directions.
+func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Timeouts) (*pipelineConn, error) {
 	if len(lb.Targets) == 0 {
 		return nil, &pipelineError{lb: lb, badIndex: -1, cause: errors.New("no targets")}
 	}
-	conn, err := c.opts.Network.Dial(c.opts.Name, lb.Targets[0].Addr)
+	conn, err := transport.DialTimeout(c.opts.Network, c.opts.Name, lb.Targets[0].Addr, to.Dial, c.clk)
 	if err != nil {
 		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
 	}
 	pc := proto.NewConn(conn)
+	pc.SetClock(c.clk)
+	pc.SetWriteTimeout(to.AckProgress)
 	hdr := &proto.WriteBlockHeader{
 		Block:   lb.Block,
 		Targets: lb.Targets[1:],
@@ -86,7 +93,9 @@ func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode) (*pip
 		pc.Close()
 		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
 	}
+	pc.SetReadTimeout(to.SetupAck)
 	setupAck, err := pc.ReadAck()
+	pc.SetReadTimeout(to.AckProgress)
 	if err != nil {
 		pc.Close()
 		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
@@ -186,9 +195,15 @@ func (c *Client) streamBlock(p *pipelineConn, data []byte, packetSize int) error
 func (p *pipelineConn) waitDone() error { return <-p.done }
 
 // waitFNFA blocks until the first datanode finished storing the block, or
-// the pipeline failed first. It reports failure via the done channel
-// value re-queued for the caller's later waitDone.
-func (p *pipelineConn) waitFNFA() error {
+// the pipeline failed first, or (with timeout > 0) the FNFA budget ran
+// out on clk. It reports pipeline failure via the done channel value
+// re-queued for the caller's later waitDone; a timeout blames the first
+// datanode, whose job it was to emit the FNFA.
+func (p *pipelineConn) waitFNFA(clk clock.Clock, timeout time.Duration) error {
+	var expired <-chan time.Time
+	if timeout > 0 && clk != nil {
+		expired = clk.After(timeout)
+	}
 	select {
 	case <-p.fnfa:
 		return nil
@@ -201,5 +216,8 @@ func (p *pipelineConn) waitFNFA() error {
 			return nil
 		}
 		return err
+	case <-expired:
+		return &pipelineError{lb: p.lb, badIndex: 0,
+			cause: fmt.Errorf("no FNFA within %v: %w", timeout, transport.ErrTimeout)}
 	}
 }

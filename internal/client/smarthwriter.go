@@ -36,6 +36,7 @@ func (c *Client) CreateSmarth(path string, opts WriteOptions) (Writer, error) {
 		c:            c,
 		path:         path,
 		opts:         opts,
+		to:           c.resolveTimeouts(opts),
 		maxPipelines: maxPipelines,
 		opened:       c.clk.Now(),
 		active:       make(map[*pipelineConn]bool),
@@ -59,12 +60,17 @@ type smarthWriter struct {
 	c            *Client
 	path         string
 	opts         WriteOptions
+	to           Timeouts
 	maxPipelines int
 	opened       time.Time
 
 	buf    []byte
 	closed bool
 	werr   error
+	// lastBlock is the most recent block granted by addBlock, echoed back
+	// as Previous so retried allocations stay idempotent. Only the
+	// Write/Close goroutine launches blocks, so no lock is needed.
+	lastBlock block.Block
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -103,6 +109,7 @@ func (w *smarthWriter) Close() error {
 	}
 	w.closed = true
 	if w.werr != nil {
+		w.teardown()
 		return w.werr
 	}
 	if len(w.buf) > 0 {
@@ -110,6 +117,8 @@ func (w *smarthWriter) Close() error {
 		copy(data, w.buf)
 		w.buf = nil
 		if err := w.launchBlock(data); err != nil {
+			w.werr = err
+			w.teardown()
 			return err
 		}
 	}
@@ -126,14 +135,44 @@ func (w *smarthWriter) Close() error {
 			break
 		}
 		if err := w.drainErrors(); err != nil {
+			w.werr = err
+			w.teardown()
 			return err
 		}
 	}
 	if err := w.c.completeFile(w.path); err != nil {
+		w.werr = err
+		w.teardown()
 		return err
 	}
 	w.setDuration(w.c.clk.Now().Sub(w.opened))
 	return nil
+}
+
+// Stats snapshots progress, including the live pipeline count.
+func (w *smarthWriter) Stats() WriteStats {
+	st := w.statsTracker.Stats()
+	w.mu.Lock()
+	st.ActivePipelines = len(w.active)
+	w.mu.Unlock()
+	return st
+}
+
+// teardown closes and unregisters every still-active pipeline so no
+// responder goroutine or connection outlives a failed Close. Safe to
+// call with pipelines concurrently retiring themselves: unregister is
+// idempotent.
+func (w *smarthWriter) teardown() {
+	w.mu.Lock()
+	ps := make([]*pipelineConn, 0, len(w.active))
+	for p := range w.active {
+		ps = append(ps, p)
+	}
+	w.mu.Unlock()
+	for _, p := range ps {
+		p.close()
+		w.unregister(p)
+	}
 }
 
 // launchBlock sends one block through a fresh pipeline and returns once
@@ -162,17 +201,18 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		return w.launchBlock(data)
 	}
 
-	resp, err := w.c.addBlock(w.path, proto.ModeSmarth, exclude)
+	resp, err := w.c.addBlock(w.path, proto.ModeSmarth, exclude, w.lastBlock)
 	if err != nil {
 		return err
 	}
+	w.lastBlock = resp.Located.Block
 	w.blockLaunched()
 	lb := resp.Located
 	if !w.opts.DisableLocalOpt {
 		w.localOptimize(&lb)
 	}
 
-	p, err := w.c.openPipeline(lb, proto.ModeSmarth)
+	p, err := w.c.openPipeline(lb, proto.ModeSmarth, w.to)
 	if err != nil {
 		// Pipeline never formed: recover synchronously.
 		w.recovered()
@@ -190,7 +230,7 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
 		return rerr
 	}
-	if err := p.waitFNFA(); err != nil {
+	if err := p.waitFNFA(w.c.clk, w.to.FNFA); err != nil {
 		p.close()
 		w.unregister(p)
 		w.recovered()

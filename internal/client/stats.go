@@ -17,6 +17,11 @@ type WriteStats struct {
 	// PeakPipelines is the maximum number of concurrently active
 	// pipelines observed (always 1 for the HDFS writer).
 	PeakPipelines int
+	// ActivePipelines is the number of pipelines still draining acks at
+	// snapshot time; after a successful or torn-down Close it is 0.
+	// Always 0 for the HDFS writer, which never leaves a pipeline open
+	// between calls.
+	ActivePipelines int
 	// Duration is the wall-clock (or injected-clock) time from writer
 	// creation until Close completed; zero while still open.
 	Duration time.Duration

@@ -3,7 +3,10 @@
 // discrete-event simulator (paper-scale experiment mode).
 package clock
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Clock is the minimal time source the protocol stack depends on.
 type Clock interface {
@@ -29,3 +32,70 @@ func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
 // System is the shared real clock.
 var System Clock = Real{}
+
+// Manual is a virtual clock advanced explicitly by tests (or by a
+// pacing goroutine compressing virtual into real time). Sleep and After
+// block until Advance moves the clock past their wake time, which lets
+// deadline and timeout paths run deterministically without wall-clock
+// waits.
+type Manual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []manualTimer
+}
+
+type manualTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewManual returns a virtual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now returns the current virtual time.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// After returns a channel that delivers the virtual time once the clock
+// has been advanced by at least d. A non-positive d fires immediately.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.timers = append(m.timers, manualTimer{at: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep blocks until the clock advances by d.
+func (m *Manual) Sleep(d time.Duration) { <-m.After(d) }
+
+// Advance moves the clock forward by d and fires every timer whose wake
+// time has been reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var fire []manualTimer
+	keep := m.timers[:0]
+	for _, t := range m.timers {
+		if t.at.After(now) {
+			keep = append(keep, t)
+		} else {
+			fire = append(fire, t)
+		}
+	}
+	m.timers = keep
+	m.mu.Unlock()
+	for _, t := range fire {
+		t.ch <- now // buffered; never blocks
+	}
+}

@@ -39,6 +39,15 @@ type Config struct {
 	Expiry time.Duration
 	// Seed fixes all randomness for reproducibility.
 	Seed int64
+	// WrapNetwork, when set, decorates the in-memory network before any
+	// component uses it (e.g. faultnet.Wrap for fault-injection tests).
+	WrapNetwork func(*transport.MemNetwork) transport.Network
+	// ClientTimeouts, when set, is handed to every client created with
+	// NewClient (nil = client defaults).
+	ClientTimeouts *client.Timeouts
+	// DatanodeDataTimeout is passed through to each datanode's
+	// DataTimeout knob (0 = datanode default, negative = disabled).
+	DatanodeDataTimeout time.Duration
 	// Image, when set, restores a namespace checkpoint (see
 	// Namenode.SaveImage) into the fresh namenode before any datanode
 	// registers — the restart path.
@@ -52,6 +61,9 @@ type Cluster struct {
 	cfg Config
 	// Net is the in-memory network carrying all traffic.
 	Net *transport.MemNetwork
+	// EffNet is the network components actually dial through: Net, or
+	// the WrapNetwork decoration of it.
+	EffNet transport.Network
 	// NN is the namenode.
 	NN *namenode.Namenode
 	// DNs are the datanodes, index i named "dn<i+1>".
@@ -92,6 +104,11 @@ func Start(cfg Config) (*Cluster, error) {
 		policy = cfg.Shaper
 	}
 	net := transport.NewMemNetwork(policy)
+	net.SetClock(cfg.Clock)
+	var effNet transport.Network = net
+	if cfg.WrapNetwork != nil {
+		effNet = cfg.WrapNetwork(net)
+	}
 
 	nn := namenode.New(namenode.Options{Clock: cfg.Clock, Expiry: cfg.Expiry, Seed: cfg.Seed})
 	if cfg.Image != nil {
@@ -99,13 +116,13 @@ func Start(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	nnListener, err := net.Listen(NamenodeAddr)
+	nnListener, err := effNet.Listen(NamenodeAddr)
 	if err != nil {
 		return nil, err
 	}
 	go nn.Serve(nnListener)
 
-	c := &Cluster{cfg: cfg, Net: net, NN: nn}
+	c := &Cluster{cfg: cfg, Net: net, EffNet: effNet, NN: nn}
 	for i := 0; i < cfg.NumDatanodes; i++ {
 		name := DatanodeName(i)
 		store, err := cfg.NewStore(name)
@@ -118,10 +135,11 @@ func Start(cfg Config) (*Cluster, error) {
 			Addr:              name,
 			Rack:              cfg.RackFor(i),
 			NamenodeAddr:      NamenodeAddr,
-			Network:           net,
+			Network:           effNet,
 			Store:             store,
 			Clock:             cfg.Clock,
 			HeartbeatInterval: cfg.HeartbeatInterval,
+			DataTimeout:       cfg.DatanodeDataTimeout,
 			Logf:              cfg.Logf,
 		})
 		if err != nil {
@@ -142,10 +160,11 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 	cl, err := client.New(client.Options{
 		Name:              name,
 		NamenodeAddr:      NamenodeAddr,
-		Network:           c.Net,
+		Network:           c.EffNet,
 		Clock:             c.cfg.Clock,
 		HeartbeatInterval: c.cfg.HeartbeatInterval,
 		Seed:              c.cfg.Seed + int64(len(c.clients)) + 1,
+		Timeouts:          c.cfg.ClientTimeouts,
 		Logf:              c.cfg.Logf,
 	})
 	if err != nil {

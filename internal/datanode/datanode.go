@@ -36,9 +36,19 @@ type Options struct {
 	// ForwardBuffer is the per-pipeline store-and-forward budget in
 	// bytes; defaults to one block (64 MB), per §IV-C.
 	ForwardBuffer int64
+	// DataTimeout bounds each data-path operation (header, packet or ack
+	// read/write) on upstream and mirror connections so a vanished or
+	// wedged peer cannot pin a handler goroutine forever. 0 selects
+	// DefaultDataTimeout; a negative value disables deadlines (legacy
+	// block-forever behavior).
+	DataTimeout time.Duration
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
+
+// DefaultDataTimeout is the per-operation data-path progress bound used
+// when Options.DataTimeout is zero.
+const DefaultDataTimeout = 60 * time.Second
 
 // Datanode is one storage server. Start it with Start; stop with Stop.
 type Datanode struct {
@@ -71,6 +81,9 @@ func New(opts Options) (*Datanode, error) {
 	}
 	if opts.ForwardBuffer <= 0 {
 		opts.ForwardBuffer = proto.DefaultBlockSize
+	}
+	if opts.DataTimeout == 0 {
+		opts.DataTimeout = DefaultDataTimeout
 	}
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
@@ -270,9 +283,21 @@ func (dn *Datanode) acceptLoop() {
 	}
 }
 
+// armConn applies the datanode's per-operation data-path deadlines to a
+// framed conn (no-op when DataTimeout is negative).
+func (dn *Datanode) armConn(pc *proto.Conn) {
+	if dn.opts.DataTimeout < 0 {
+		return
+	}
+	pc.SetClock(dn.clk)
+	pc.SetReadTimeout(dn.opts.DataTimeout)
+	pc.SetWriteTimeout(dn.opts.DataTimeout)
+}
+
 func (dn *Datanode) serveConn(conn transport.Conn) {
 	pc := proto.NewConn(conn)
 	defer pc.Close()
+	dn.armConn(pc)
 	op, hdr, err := pc.ReadHeader()
 	if err != nil {
 		return

@@ -31,6 +31,7 @@ func (dn *Datanode) transferBlock(cmd nnapi.ReplicateCmd) error {
 	}
 	pc := proto.NewConn(conn)
 	defer pc.Close()
+	dn.armConn(pc)
 
 	hdr := &proto.WriteBlockHeader{
 		Block:   cmd.Block,

@@ -127,6 +127,9 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 			return
 		}
 		// Interior datanode: merge downstream acks with local verdicts.
+		// Both sides deliver packets in order, so the pairing must agree
+		// on the seqno; a skew means an ack was lost or duplicated and
+		// the merged statuses would be stamped onto the wrong packet.
 		for {
 			downAck, err := mirror.ReadAck()
 			if err != nil {
@@ -136,6 +139,17 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 			select {
 			case st, ok := <-statusCh:
 				if !ok {
+					abort()
+					return
+				}
+				if downAck.Seqno != st.seqno {
+					dn.opts.Logf("datanode %s: ack seqno skew: downstream %d, local %d",
+						dn.opts.Name, downAck.Seqno, st.seqno)
+					_ = sender.send(&proto.Ack{
+						Kind:     proto.AckData,
+						Seqno:    st.seqno,
+						Statuses: []proto.Status{proto.StatusError},
+					})
 					abort()
 					return
 				}
@@ -176,6 +190,7 @@ func (dn *Datanode) connectMirror(hdr *proto.WriteBlockHeader) (*proto.Conn, []p
 		return nil, nil, err
 	}
 	m := proto.NewConn(conn)
+	dn.armConn(m)
 	fwd := &proto.WriteBlockHeader{
 		Block:   hdr.Block,
 		Targets: hdr.Targets[1:],

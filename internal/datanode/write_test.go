@@ -1,0 +1,228 @@
+package datanode
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+	"repro/internal/nnapi"
+	"repro/internal/proto"
+	"repro/internal/rpc"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// startFakeNN runs a namenode stub that accepts registrations,
+// heartbeats and blockReceived reports without acting on them.
+func startFakeNN(t *testing.T, n *transport.MemNetwork) {
+	t.Helper()
+	s := rpc.NewServer()
+	rpc.Handle(s, nnapi.MethodRegister, func(nnapi.RegisterReq) (nnapi.RegisterResp, error) {
+		return nnapi.RegisterResp{}, nil
+	})
+	rpc.Handle(s, nnapi.MethodHeartbeat, func(nnapi.HeartbeatReq) (nnapi.HeartbeatResp, error) {
+		return nnapi.HeartbeatResp{}, nil
+	})
+	rpc.Handle(s, nnapi.MethodBlockReceived, func(nnapi.BlockReceivedReq) (nnapi.BlockReceivedResp, error) {
+		return nnapi.BlockReceivedResp{}, nil
+	})
+	l, err := n.Listen("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(s.Close)
+}
+
+// TestInteriorResponderSeqnoSkew drives a real interior datanode whose
+// mirror is a stub that acks the WRONG seqno. The interior responder
+// must not stamp the merged ack with the downstream seqno as if nothing
+// happened: it must surface StatusError upstream and abort.
+func TestInteriorResponderSeqnoSkew(t *testing.T) {
+	n := transport.NewMemNetwork(nil)
+	startFakeNN(t, n)
+
+	dn, err := New(Options{
+		Name: "dn1", Addr: "dn1", NamenodeAddr: "nn",
+		Network: n, Store: storage.NewMemStore(),
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dn.Stop()
+
+	// Fake mirror: completes setup honestly, then acks seqno+1 for every
+	// packet, simulating a peer that lost an ack.
+	ml, err := n.Listen("dn2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ml.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ml.Accept()
+		if err != nil {
+			return
+		}
+		mc := proto.NewConn(conn)
+		defer mc.Close()
+		if _, _, err := mc.ReadHeader(); err != nil {
+			return
+		}
+		if err := mc.WriteAck(&proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusSuccess}}); err != nil {
+			return
+		}
+		for {
+			pkt, err := mc.ReadPacket()
+			if err != nil {
+				return
+			}
+			skewed := &proto.Ack{Kind: proto.AckData, Seqno: pkt.Seqno + 1, Statuses: []proto.Status{proto.StatusSuccess}}
+			if err := mc.WriteAck(skewed); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Fake client: write a two-packet block through dn1 with dn2 as the
+	// mirror.
+	conn, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+	blk := block.Block{ID: 1, Gen: 1}
+	hdr := &proto.WriteBlockHeader{
+		Block:   blk,
+		Targets: []block.DatanodeInfo{{Name: "dn2", Addr: "dn2"}},
+		Client:  "client",
+		Mode:    proto.ModeHDFS,
+	}
+	if err := pc.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := pc.ReadAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Kind != proto.AckHeader || !setup.OK() {
+		t.Fatalf("setup ack = %+v", setup)
+	}
+	data := []byte("hello, pipeline")
+	for seq := int64(0); seq < 2; seq++ {
+		pkt := &proto.Packet{
+			Seqno: seq,
+			Last:  seq == 1,
+			Sums:  checksum.Sum(data, checksum.DefaultChunkSize),
+			Data:  data,
+		}
+		if err := pc.WritePacket(pkt); err != nil {
+			t.Fatalf("write packet %d: %v", seq, err)
+		}
+	}
+
+	// The skew must surface as a StatusError ack (before the conn drops).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("no error ack before deadline")
+		}
+		ack, err := pc.ReadAck()
+		if err != nil {
+			t.Fatalf("conn dropped without an error ack: %v", err)
+		}
+		if ack.Kind != proto.AckData {
+			continue
+		}
+		if ack.OK() {
+			t.Fatalf("skewed ack relayed as success: %+v", ack)
+		}
+		found := false
+		for _, s := range ack.Statuses {
+			if s == proto.StatusError {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("ack statuses = %v, want StatusError", ack.Statuses)
+		}
+		break
+	}
+	wg.Wait()
+}
+
+// TestInteriorResponderCleanRun is the control: an honest mirror yields
+// merged success acks for every packet.
+func TestInteriorResponderCleanRun(t *testing.T) {
+	n := transport.NewMemNetwork(nil)
+	startFakeNN(t, n)
+
+	for _, name := range []string{"dn1", "dn2"} {
+		dn, err := New(Options{
+			Name: name, Addr: name, NamenodeAddr: "nn",
+			Network: n, Store: storage.NewMemStore(),
+			Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dn.Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer dn.Stop()
+	}
+
+	conn, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+	hdr := &proto.WriteBlockHeader{
+		Block:   block.Block{ID: 2, Gen: 1},
+		Targets: []block.DatanodeInfo{{Name: "dn2", Addr: "dn2"}},
+		Client:  "client",
+		Mode:    proto.ModeHDFS,
+	}
+	if err := pc.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if setup, err := pc.ReadAck(); err != nil || !setup.OK() {
+		t.Fatalf("setup: ack=%+v err=%v", setup, err)
+	}
+	data := []byte(strings.Repeat("x", 1024))
+	for seq := int64(0); seq < 3; seq++ {
+		pkt := &proto.Packet{
+			Seqno:  seq,
+			Offset: seq * 1024,
+			Last:   seq == 2,
+			Sums:   checksum.Sum(data, checksum.DefaultChunkSize),
+			Data:   data,
+		}
+		if err := pc.WritePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for want := int64(0); want < 3; want++ {
+		ack, err := pc.ReadAck()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ack.Kind != proto.AckData {
+			continue
+		}
+		if ack.Seqno != want || !ack.OK() || len(ack.Statuses) != 2 {
+			t.Fatalf("ack %d = %+v", want, ack)
+		}
+	}
+}

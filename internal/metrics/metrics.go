@@ -71,5 +71,10 @@ func Pct(ratio float64) string { return fmt.Sprintf("%.0f%%", ratio*100) }
 // MBps formats a throughput.
 func MBps(v float64) string { return fmt.Sprintf("%.1f MB/s", v) }
 
-// GB formats a byte count in gigabytes.
-func GB(bytes int64) string { return fmt.Sprintf("%dGB", bytes>>30) }
+// GB formats a byte count in gigabytes, keeping one decimal for
+// fractional sizes ("1.9GB") instead of truncating them to "1GB";
+// whole-gigabyte counts stay compact ("8GB").
+func GB(bytes int64) string {
+	s := fmt.Sprintf("%.1f", float64(bytes)/(1<<30))
+	return strings.TrimSuffix(s, ".0") + "GB"
+}

@@ -52,4 +52,11 @@ func TestFormatters(t *testing.T) {
 	if got := GB(8 << 30); got != "8GB" {
 		t.Fatalf("GB = %q", got)
 	}
+	// Fractional sizes must not be truncated to the floor gigabyte.
+	if got := GB(2040109465); got != "1.9GB" { // 1.9 * 2^30
+		t.Fatalf("GB = %q, want 1.9GB", got)
+	}
+	if got := GB(1 << 29); got != "0.5GB" {
+		t.Fatalf("GB = %q, want 0.5GB", got)
+	}
 }

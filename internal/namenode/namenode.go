@@ -186,7 +186,10 @@ func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) 
 	if err != nil {
 		return nnapi.AddBlockResp{}, err
 	}
-	b := nn.ns.allocateBlock(f)
+	b, reused := nn.ns.reusableTail(f, req.Previous)
+	if !reused {
+		b = nn.ns.allocateBlock(f)
+	}
 	return nnapi.AddBlockResp{Located: block.LocatedBlock{Block: b, Targets: targets}}, nil
 }
 

@@ -380,11 +380,60 @@ func TestRecoverSchedulesInvalidation(t *testing.T) {
 	}
 }
 
+func TestAddBlockRetryReusesUnwrittenTail(t *testing.T) {
+	// A timed-out addBlock that the namenode nevertheless executed leaves
+	// a tail block the client never heard about; the client's retry
+	// (same Previous) must get that block back, not a fresh orphan.
+	nn, _, _ := newTestNN(t)
+	nn.Create(nnapi.CreateReq{Path: "/f", Client: "c1", Replication: 1, BlockSize: 1 << 20})
+	r1, err := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retry of the first allocation (client saw no response: Previous zero).
+	r1b, err := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1b.Located.Block.ID != r1.Located.Block.ID {
+		t.Fatalf("retry allocated a new block %v, want %v", r1b.Located.Block, r1.Located.Block)
+	}
+	info, _ := nn.GetFileInfo(nnapi.GetFileInfoReq{Path: "/f"})
+	if info.NumBlocks != 1 {
+		t.Fatalf("blocks = %d after retried first addBlock, want 1", info.NumBlocks)
+	}
+
+	// Once the tail has a finalized replica it is no longer reusable: the
+	// same request now allocates the next block.
+	holder := r1.Located.Targets[0].Name
+	nn.BlockReceived(nnapi.BlockReceivedReq{Name: holder, Block: r1.Located.Block})
+	r2, err := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1", Previous: r1.Located.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Located.Block.ID == r1.Located.Block.ID {
+		t.Fatal("finalized tail was reused")
+	}
+
+	// A retried second allocation reuses the unwritten tail too.
+	r2b, err := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1", Previous: r1.Located.Block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2b.Located.Block.ID != r2.Located.Block.ID {
+		t.Fatalf("retry allocated %v, want %v", r2b.Located.Block, r2.Located.Block)
+	}
+	info, _ = nn.GetFileInfo(nnapi.GetFileInfoReq{Path: "/f"})
+	if info.NumBlocks != 2 {
+		t.Fatalf("blocks = %d, want 2", info.NumBlocks)
+	}
+}
+
 func TestAbandonBlock(t *testing.T) {
 	nn, _, _ := newTestNN(t)
 	nn.Create(nnapi.CreateReq{Path: "/f", Client: "c1", Replication: 1, BlockSize: 1 << 20})
 	r1, _ := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1"})
-	r2, _ := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1"})
+	r2, _ := nn.AddBlock(nnapi.AddBlockReq{Path: "/f", Client: "c1", Previous: r1.Located.Block})
 	// Only the last block may be abandoned.
 	if _, err := nn.AbandonBlock(nnapi.AbandonBlockReq{Path: "/f", Client: "c1", Block: r1.Located.Block}); err == nil {
 		t.Fatal("abandoned a non-last block")

@@ -115,6 +115,23 @@ func (ns *namesystem) allocateBlock(f *fileInode) block.Block {
 	return b
 }
 
+// reusableTail detects a retried addBlock: prev is the last block the
+// client acknowledges having been granted. If the file's tail is a
+// different block that holds no data and no finalized replicas, it was
+// allocated by an earlier attempt of this very request whose response
+// the client never saw (a timed-out RPC the namenode still executed),
+// so it is handed back for reuse instead of orphaning it.
+func (ns *namesystem) reusableTail(f *fileInode, prev block.Block) (block.Block, bool) {
+	if len(f.blocks) == 0 {
+		return block.Block{}, false
+	}
+	meta := ns.blocks[f.blocks[len(f.blocks)-1]]
+	if meta.cur.ID == prev.ID || len(meta.locations) > 0 || meta.cur.NumBytes > 0 {
+		return block.Block{}, false
+	}
+	return meta.cur, true
+}
+
 // abandonBlock removes an allocated block from its file. Only the last
 // block may be abandoned, and only while it has no finalized replicas —
 // otherwise the caller should recover instead.

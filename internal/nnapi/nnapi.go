@@ -56,6 +56,13 @@ type AddBlockReq struct {
 	// that a datanode may serve only one active pipeline per client, and
 	// the recovery rule excluding known-bad nodes.
 	Exclude []string
+	// Previous is the last block the client was granted for this file
+	// (zero when requesting the first block). It makes retried addBlock
+	// calls idempotent: if a timed-out attempt already executed at the
+	// namenode, the file's tail is a block the client never saw, and the
+	// namenode hands that block back (with a fresh pipeline) instead of
+	// allocating an orphan that would stall Complete forever.
+	Previous block.Block
 }
 
 // AddBlockResp returns the allocated block and its pipeline.

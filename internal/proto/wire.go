@@ -5,10 +5,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"repro/internal/block"
 	"repro/internal/checksum"
+	"repro/internal/clock"
 )
+
+// deadlineSetter is the subset of net.Conn deadline control that
+// transport conns implement; streams without it simply don't support
+// timeouts (SetReadTimeout/SetWriteTimeout become no-ops).
+type deadlineSetter interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
 
 // Conn wraps a stream with buffered, frame-oriented message I/O. It is
 // safe for one concurrent reader and one concurrent writer, which matches
@@ -17,15 +28,92 @@ type Conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
 	c io.Closer
+	d deadlineSetter
+
+	mu       sync.Mutex
+	clk      clock.Clock
+	rTimeout time.Duration
+	wTimeout time.Duration
 }
 
-// NewConn wraps rw. If rw is an io.Closer, Close closes it.
+// NewConn wraps rw. If rw is an io.Closer, Close closes it; if it
+// supports deadlines, per-operation timeouts become available.
 func NewConn(rw io.ReadWriter) *Conn {
 	c, _ := rw.(io.Closer)
+	d, _ := rw.(deadlineSetter)
 	return &Conn{
-		r: bufio.NewReaderSize(rw, 128<<10),
-		w: bufio.NewWriterSize(rw, 128<<10),
-		c: c,
+		r:   bufio.NewReaderSize(rw, 128<<10),
+		w:   bufio.NewWriterSize(rw, 128<<10),
+		c:   c,
+		d:   d,
+		clk: clock.System,
+	}
+}
+
+// SetClock replaces the clock used to compute operation deadlines (for
+// virtual-time runs). nil restores the system clock.
+func (c *Conn) SetClock(clk clock.Clock) {
+	if clk == nil {
+		clk = clock.System
+	}
+	c.mu.Lock()
+	c.clk = clk
+	c.mu.Unlock()
+}
+
+// SetReadTimeout bounds each subsequent frame read (header, packet or
+// ack): the deadline is re-armed per operation, so it is a progress
+// timeout, not a whole-stream budget. d <= 0 disables the bound. No-op
+// if the underlying stream has no deadline support.
+func (c *Conn) SetReadTimeout(d time.Duration) {
+	if c.d == nil {
+		return
+	}
+	c.mu.Lock()
+	c.rTimeout = d
+	c.mu.Unlock()
+	if d <= 0 {
+		c.d.SetReadDeadline(time.Time{})
+	}
+}
+
+// SetWriteTimeout bounds each subsequent frame write. d <= 0 disables
+// the bound. No-op if the underlying stream has no deadline support.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	if c.d == nil {
+		return
+	}
+	c.mu.Lock()
+	c.wTimeout = d
+	c.mu.Unlock()
+	if d <= 0 {
+		c.d.SetWriteDeadline(time.Time{})
+	}
+}
+
+// armRead applies the per-operation read deadline, if any.
+func (c *Conn) armRead() {
+	if c.d == nil {
+		return
+	}
+	c.mu.Lock()
+	d, clk := c.rTimeout, c.clk
+	c.mu.Unlock()
+	if d > 0 {
+		c.d.SetReadDeadline(clk.Now().Add(d))
+	}
+}
+
+// armWrite applies the per-operation write deadline, if any.
+func (c *Conn) armWrite() {
+	if c.d == nil {
+		return
+	}
+	c.mu.Lock()
+	d, clk := c.wTimeout, c.clk
+	c.mu.Unlock()
+	if d > 0 {
+		c.d.SetWriteDeadline(clk.Now().Add(d))
 	}
 }
 
@@ -45,6 +133,7 @@ func (c *Conn) writeFrame(payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("proto: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
 	}
+	c.armWrite()
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
 	if _, err := c.w.Write(hdr[:]); err != nil {
@@ -58,6 +147,7 @@ func (c *Conn) writeFrame(payload []byte) error {
 
 // readFrame reads one length-prefixed frame.
 func (c *Conn) readFrame() ([]byte, error) {
+	c.armRead()
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		return nil, err

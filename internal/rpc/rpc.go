@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/transport"
 )
 
@@ -205,12 +207,18 @@ func Dial(net transport.Network, local, remote string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an already-established connection (e.g. one made with
+// transport.DialTimeout) as an RPC client.
+func NewClient(conn transport.Conn) *Client {
 	c := &Client{
 		conn:    conn,
 		pending: make(map[uint64]chan response),
 	}
 	go c.readLoop()
-	return c, nil
+	return c
 }
 
 func (c *Client) readLoop() {
@@ -251,9 +259,30 @@ func (c *Client) shutdown(err error) {
 // Close tears the connection down; pending calls fail.
 func (c *Client) Close() { c.shutdown(ErrShutdown) }
 
+// ErrCallTimeout is returned by CallTimeout when the server does not
+// respond within the budget. It satisfies transport.IsTimeout.
+var ErrCallTimeout error = &callTimeoutError{}
+
+type callTimeoutError struct{}
+
+func (*callTimeoutError) Error() string   { return "rpc: call timed out" }
+func (*callTimeoutError) Timeout() bool   { return true }
+func (*callTimeoutError) Temporary() bool { return true }
+
 // Call invokes method with arg and decodes the result into reply (which
-// may be nil for methods without results).
+// may be nil for methods without results). It waits for the response
+// indefinitely; use CallTimeout to bound the wait.
 func (c *Client) Call(method string, arg, reply any) error {
+	return c.CallTimeout(method, arg, reply, 0, nil)
+}
+
+// CallTimeout is Call with a response deadline measured on clk: if the
+// server has not answered within timeout, the call fails with
+// ErrCallTimeout. The request stays pending — a late response is
+// discarded by the read loop — and the connection remains usable, so a
+// slow namenode does not force a reconnect. timeout <= 0 or nil clk
+// waits forever.
+func (c *Client) CallTimeout(method string, arg, reply any, timeout time.Duration, clk clock.Clock) error {
 	var body json.RawMessage
 	if arg != nil {
 		b, err := json.Marshal(arg)
@@ -286,7 +315,22 @@ func (c *Client) Call(method string, arg, reply any) error {
 		return err
 	}
 
-	resp := <-ch
+	var resp response
+	if timeout > 0 && clk != nil {
+		select {
+		case resp = <-ch:
+		case <-clk.After(timeout):
+			// Abandon the call: drop the pending entry so the read loop
+			// discards the late response instead of blocking on a channel
+			// nobody reads (ch is buffered, but keep the map clean).
+			c.mu.Lock()
+			delete(c.pending, seq)
+			c.mu.Unlock()
+			return fmt.Errorf("rpc: %s: %w", method, ErrCallTimeout)
+		}
+	} else {
+		resp = <-ch
+	}
 	if resp.Err != "" {
 		return &RemoteError{Msg: resp.Err}
 	}

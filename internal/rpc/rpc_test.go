@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/transport"
 )
 
@@ -247,4 +248,89 @@ func TestMultipleClientsOneServer(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+func TestCallTimeout(t *testing.T) {
+	n := transport.NewMemNetwork(nil)
+	s := NewServer()
+	release := make(chan struct{})
+	Handle(s, "stall", func(a addArgs) (addReply, error) {
+		<-release
+		return addReply{Sum: 42}, nil
+	})
+	Handle(s, "add", func(a addArgs) (addReply, error) {
+		return addReply{Sum: a.A + a.B}, nil
+	})
+	l, err := n.Listen("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { close(release); s.Close() })
+
+	c, err := Dial(n, "client", "nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var reply addReply
+	err = c.CallTimeout("stall", addArgs{}, &reply, 50*time.Millisecond, clock.System)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if !transport.IsTimeout(err) {
+		t.Fatalf("IsTimeout(%v) = false", err)
+	}
+
+	// The connection must survive an abandoned call.
+	if err := c.CallTimeout("add", addArgs{A: 2, B: 3}, &reply, time.Second, clock.System); err != nil {
+		t.Fatalf("call after timeout: %v", err)
+	}
+	if reply.Sum != 5 {
+		t.Fatalf("sum = %d, want 5", reply.Sum)
+	}
+}
+
+func TestCallTimeoutVirtualClock(t *testing.T) {
+	n := transport.NewMemNetwork(nil)
+	s := NewServer()
+	release := make(chan struct{})
+	Handle(s, "stall", func(a addArgs) (addReply, error) {
+		<-release
+		return addReply{}, nil
+	})
+	l, err := n.Listen("nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { close(release); s.Close() })
+
+	c, err := Dial(n, "client", "nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	clk := clock.NewManual(time.Unix(0, 0))
+	errs := make(chan error, 1)
+	go func() {
+		errs <- c.CallTimeout("stall", addArgs{}, nil, time.Minute, clk)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-errs:
+		t.Fatalf("call returned %v before virtual time advanced", err)
+	default:
+	}
+	clk.Advance(2 * time.Minute)
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrCallTimeout) {
+			t.Fatalf("err = %v, want ErrCallTimeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("virtual-clock call timeout did not fire")
+	}
 }

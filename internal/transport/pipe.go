@@ -4,31 +4,125 @@ import (
 	"errors"
 	"io"
 	"sync"
+	"time"
+
+	"repro/internal/clock"
 )
 
 // ErrClosed is returned by operations on a closed or broken connection.
 var ErrClosed = errors.New("transport: connection closed")
 
+// ErrTimeout is returned when a read or write deadline expires. It
+// implements the net.Error Timeout contract so callers can treat memory
+// and TCP substrates uniformly (see IsTimeout).
+var ErrTimeout error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string   { return "transport: i/o timeout" }
+func (*timeoutError) Timeout() bool   { return true }
+func (*timeoutError) Temporary() bool { return true }
+
 // pipeBuf is one direction of an in-memory connection: a bounded FIFO of
 // bytes with blocking reads and writes, modelling a TCP socket buffer.
+// Read and write deadlines are supported; the clock driving them is the
+// network's, so deadlines work under a virtual clock too.
 type pipeBuf struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
+	clk      clock.Clock
 	data     []byte
 	capacity int
 	closed   bool // write side closed cleanly; drained reads return io.EOF
+	rclosed  bool // read side closed locally; reads and peer writes fail
 	broken   bool // connection destroyed; all operations fail
+
+	rDeadline time.Time
+	wDeadline time.Time
+	// rWaker/wWaker report whether a waker goroutine is alive for that
+	// direction; wakers exist only while an op actually blocks under an
+	// armed deadline, so the happy path spawns nothing.
+	rWaker bool
+	wWaker bool
 }
 
-func newPipeBuf(capacity int) *pipeBuf {
+func newPipeBuf(capacity int, clk clock.Clock) *pipeBuf {
 	if capacity <= 0 {
 		capacity = 256 << 10
 	}
-	p := &pipeBuf{capacity: capacity}
+	if clk == nil {
+		clk = clock.System
+	}
+	p := &pipeBuf{capacity: capacity, clk: clk}
 	p.notEmpty = sync.NewCond(&p.mu)
 	p.notFull = sync.NewCond(&p.mu)
 	return p
+}
+
+// SetReadDeadline bounds blocked and future reads; the zero time removes
+// the deadline.
+func (b *pipeBuf) SetReadDeadline(t time.Time) {
+	b.mu.Lock()
+	b.rDeadline = t
+	b.notEmpty.Broadcast() // blocked readers re-evaluate (and re-arm wakers)
+	b.mu.Unlock()
+}
+
+// SetWriteDeadline bounds blocked and future writes; the zero time
+// removes the deadline.
+func (b *pipeBuf) SetWriteDeadline(t time.Time) {
+	b.mu.Lock()
+	b.wDeadline = t
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}
+
+// readWaker sleeps until the read deadline and wakes blocked readers.
+// It re-sleeps if the deadline moved, and exits once no deadline is
+// armed. Runs while b.rWaker is true; must be started with it set.
+func (b *pipeBuf) readWaker() {
+	for {
+		b.mu.Lock()
+		d := b.rDeadline
+		if d.IsZero() || b.broken || b.rclosed {
+			b.rWaker = false
+			b.mu.Unlock()
+			return
+		}
+		now := b.clk.Now()
+		if !now.Before(d) {
+			b.rWaker = false
+			b.notEmpty.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		wait := d.Sub(now)
+		b.mu.Unlock()
+		<-b.clk.After(wait)
+	}
+}
+
+func (b *pipeBuf) writeWaker() {
+	for {
+		b.mu.Lock()
+		d := b.wDeadline
+		if d.IsZero() || b.broken || b.closed {
+			b.wWaker = false
+			b.mu.Unlock()
+			return
+		}
+		now := b.clk.Now()
+		if !now.Before(d) {
+			b.wWaker = false
+			b.notFull.Broadcast()
+			b.mu.Unlock()
+			return
+		}
+		wait := d.Sub(now)
+		b.mu.Unlock()
+		<-b.clk.After(wait)
+	}
 }
 
 // Write appends p, blocking while the buffer is full.
@@ -40,11 +134,25 @@ func (b *pipeBuf) Write(p []byte) (int, error) {
 		if b.broken {
 			return written, ErrClosed
 		}
+		if b.rclosed {
+			// The reading side closed its connection: further writes are
+			// lost, so fail them (the TCP RST analogue).
+			return written, ErrClosed
+		}
 		if b.closed {
 			return written, io.ErrClosedPipe
 		}
 		space := b.capacity - len(b.data)
 		if space == 0 {
+			if !b.wDeadline.IsZero() {
+				if !b.clk.Now().Before(b.wDeadline) {
+					return written, ErrTimeout
+				}
+				if !b.wWaker {
+					b.wWaker = true
+					go b.writeWaker()
+				}
+			}
 			b.notFull.Wait()
 			continue
 		}
@@ -64,7 +172,7 @@ func (b *pipeBuf) Read(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
-		if b.broken {
+		if b.broken || b.rclosed {
 			return 0, ErrClosed
 		}
 		if len(b.data) > 0 {
@@ -79,6 +187,17 @@ func (b *pipeBuf) Read(p []byte) (int, error) {
 		if b.closed {
 			return 0, io.EOF
 		}
+		if !b.rDeadline.IsZero() {
+			// Deliver available data even past the deadline; time out
+			// only when the read would block.
+			if !b.clk.Now().Before(b.rDeadline) {
+				return 0, ErrTimeout
+			}
+			if !b.rWaker {
+				b.rWaker = true
+				go b.readWaker()
+			}
+		}
 		b.notEmpty.Wait()
 	}
 }
@@ -88,6 +207,18 @@ func (b *pipeBuf) Read(p []byte) (int, error) {
 func (b *pipeBuf) CloseWrite() {
 	b.mu.Lock()
 	b.closed = true
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+	b.mu.Unlock()
+}
+
+// CloseRead abandons the stream from the reading side: blocked and
+// future reads fail locally, and the peer's writes fail rather than
+// backing up into a buffer nobody will drain.
+func (b *pipeBuf) CloseRead() {
+	b.mu.Lock()
+	b.rclosed = true
+	b.data = nil
 	b.notEmpty.Broadcast()
 	b.notFull.Broadcast()
 	b.mu.Unlock()

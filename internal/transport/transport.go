@@ -7,6 +7,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -24,6 +25,20 @@ type Conn interface {
 	// time (for the accepted side, the dialer's claimed identity).
 	LocalAddr() string
 	RemoteAddr() string
+	// SetReadDeadline and SetWriteDeadline bound blocked and future I/O
+	// on the conn, matching net.Conn semantics: the zero time clears the
+	// deadline, and expiry fails the operation with an error for which
+	// IsTimeout reports true.
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// IsTimeout reports whether err (or an error it wraps) is a deadline
+// expiry, covering both the in-memory ErrTimeout and net.Error timeouts
+// from the TCP substrate.
+func IsTimeout(err error) bool {
+	var te interface{ Timeout() bool }
+	return errors.As(err, &te) && te.Timeout()
 }
 
 // Listener accepts inbound connections for one address.
@@ -99,6 +114,18 @@ func (n *MemNetwork) SetPolicy(p LinkPolicy) {
 	n.policy = p
 }
 
+// SetClock replaces the clock driving link latency and conn deadlines
+// (affects connections made afterwards). Pass a virtual clock to make
+// deadlines deterministic in simulated time.
+func (n *MemNetwork) SetClock(clk clock.Clock) {
+	if clk == nil {
+		clk = clock.System
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clk = clk
+}
+
 type memListener struct {
 	net    *MemNetwork
 	addr   string
@@ -167,12 +194,26 @@ func (c *memConn) Write(p []byte) (int, error) { return c.w.Write(p) }
 func (c *memConn) LocalAddr() string           { return c.local }
 func (c *memConn) RemoteAddr() string          { return c.remote }
 
+// SetReadDeadline bounds blocked and future reads on the conn.
+func (c *memConn) SetReadDeadline(t time.Time) error {
+	c.readBuf.SetReadDeadline(t)
+	return nil
+}
+
+// SetWriteDeadline bounds blocked and future writes on the conn.
+func (c *memConn) SetWriteDeadline(t time.Time) error {
+	c.writeBuf.SetWriteDeadline(t)
+	return nil
+}
+
 func (c *memConn) Close() error {
 	c.closeOnce.Do(func() {
+		// Signal the write direction like a TCP FIN: the peer can still
+		// drain buffered data before seeing EOF. The read direction is
+		// abandoned — our own blocked reads unblock, and peer writes into
+		// a buffer nobody will drain fail instead of backing up forever.
 		c.writeBuf.CloseWrite()
-		// Reads on this side stop delivering once the peer also closes;
-		// breaking the read buffer here would discard in-flight data, so
-		// only the write direction is signalled, like TCP FIN.
+		c.readBuf.CloseRead()
 		c.net.forget(c)
 	})
 	return nil
@@ -212,13 +253,14 @@ func (n *MemNetwork) Dial(local, remote string) (Conn, error) {
 	l := n.listeners[remote]
 	policy := n.policy
 	bufSize := n.bufSize
+	clk := n.clk
 	n.mu.Unlock()
 	if l == nil {
 		return nil, fmt.Errorf("transport: no listener at %q", remote)
 	}
 
-	forward := newPipeBuf(bufSize)  // local -> remote
-	backward := newPipeBuf(bufSize) // remote -> local
+	forward := newPipeBuf(bufSize, clk)  // local -> remote
+	backward := newPipeBuf(bufSize, clk) // remote -> local
 
 	fwLims, fwLat := policy.Limits(local, remote)
 	bwLims, bwLat := policy.Limits(remote, local)
@@ -241,7 +283,7 @@ func (n *MemNetwork) Dial(local, remote string) (Conn, error) {
 
 	// Connection setup costs one round trip.
 	if rtt := fwLat + bwLat; rtt > 0 {
-		n.clk.Sleep(rtt)
+		clk.Sleep(rtt)
 	}
 
 	select {
@@ -360,8 +402,39 @@ func (n *TCPNetwork) Dial(local, remote string) (Conn, error) {
 	}, nil
 }
 
+// DialTimeout dials remote, giving up after d on clk. A non-positive d
+// (or nil clk) means no bound. A connection that completes after the
+// timeout fired is closed, not leaked.
+func DialTimeout(nw Network, local, remote string, d time.Duration, clk clock.Clock) (Conn, error) {
+	if d <= 0 || clk == nil {
+		return nw.Dial(local, remote)
+	}
+	type dialResult struct {
+		conn Conn
+		err  error
+	}
+	ch := make(chan dialResult, 1)
+	go func() {
+		c, err := nw.Dial(local, remote)
+		ch <- dialResult{c, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.conn, r.err
+	case <-clk.After(d):
+		go func() {
+			if r := <-ch; r.conn != nil {
+				r.conn.Close()
+			}
+		}()
+		return nil, fmt.Errorf("transport: dial %s->%s: %w", local, remote, ErrTimeout)
+	}
+}
+
 // Ensure interface satisfaction.
 var (
 	_ Network = (*MemNetwork)(nil)
 	_ Network = (*TCPNetwork)(nil)
+	_ Conn    = (*memConn)(nil)
+	_ Conn    = (*tcpConn)(nil)
 )

@@ -216,7 +216,7 @@ func TestShapingLimitsThroughput(t *testing.T) {
 }
 
 func TestPipeBufBackpressure(t *testing.T) {
-	b := newPipeBuf(8)
+	b := newPipeBuf(8, nil)
 	wrote := make(chan struct{})
 	go func() {
 		b.Write(make([]byte, 16)) // must block halfway
@@ -241,7 +241,7 @@ func TestPipeBufBackpressure(t *testing.T) {
 }
 
 func TestPipeBufBreakUnblocksReader(t *testing.T) {
-	b := newPipeBuf(4)
+	b := newPipeBuf(4, nil)
 	errs := make(chan error, 1)
 	go func() {
 		_, err := b.Read(make([]byte, 1)) // empty pipe: blocks
@@ -260,7 +260,7 @@ func TestPipeBufBreakUnblocksReader(t *testing.T) {
 }
 
 func TestPipeBufBreakUnblocksWriter(t *testing.T) {
-	b := newPipeBuf(4)
+	b := newPipeBuf(4, nil)
 	errs := make(chan error, 1)
 	go func() {
 		_, err := b.Write(make([]byte, 100)) // full pipe: blocks
@@ -279,7 +279,7 @@ func TestPipeBufBreakUnblocksWriter(t *testing.T) {
 }
 
 func TestPipeBufWriteAfterCloseWrite(t *testing.T) {
-	b := newPipeBuf(16)
+	b := newPipeBuf(16, nil)
 	b.CloseWrite()
 	if _, err := b.Write([]byte("x")); err != io.ErrClosedPipe {
 		t.Fatalf("err = %v, want io.ErrClosedPipe", err)
@@ -316,5 +316,197 @@ func TestTCPNetwork(t *testing.T) {
 	}
 	if !bytes.Equal(got, msg) {
 		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+func TestMemConnReadDeadline(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	go func() { l.Accept() }() // accept and hold silently
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err = c.Read(make([]byte, 1))
+	if !IsTimeout(err) {
+		t.Fatalf("read err = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestMemConnWriteDeadline(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	go func() { l.Accept() }() // accepted but never read: writes back up
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err = c.Write(make([]byte, 1<<20)) // larger than buffer
+	if !IsTimeout(err) {
+		t.Fatalf("write err = %v, want timeout", err)
+	}
+}
+
+func TestMemConnDeadlineClearedByZero(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	c.SetReadDeadline(time.Now().Add(time.Hour))
+	c.SetReadDeadline(time.Time{}) // clear
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		srv.Write([]byte("x"))
+	}()
+	if _, err := c.Read(make([]byte, 1)); err != nil {
+		t.Fatalf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestMemConnDeadlineDeliversBufferedData(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := <-accepted
+	srv.Write([]byte("data"))
+	// An already-expired deadline must not starve buffered data.
+	c.SetReadDeadline(time.Now().Add(-time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("read buffered data past deadline: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !IsTimeout(err) {
+		t.Fatalf("drained read err = %v, want timeout", err)
+	}
+}
+
+func TestMemConnDeadlineVirtualClock(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	n := NewMemNetwork(nil)
+	n.SetClock(clk)
+	l, _ := n.Listen("srv")
+	go func() { l.Accept() }()
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(clk.Now().Add(time.Minute))
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errs <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the read block
+	select {
+	case err := <-errs:
+		t.Fatalf("read returned %v before virtual time advanced", err)
+	default:
+	}
+	clk.Advance(2 * time.Minute)
+	select {
+	case err := <-errs:
+		if !IsTimeout(err) {
+			t.Fatalf("read err = %v, want timeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("virtual deadline did not fire after Advance")
+	}
+}
+
+func TestMemConnCloseUnblocksLocalRead(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	go func() { l.Accept() }()
+	c, err := n.Dial("cli", "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("read on closed conn returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock local blocked read")
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	n := NewMemNetwork(nil)
+	l, _ := n.Listen("srv")
+	// Fill the accept backlog so further dials block in Dial.
+	for i := 0; i < 16; i++ {
+		go n.Dial("filler", "srv")
+	}
+	time.Sleep(20 * time.Millisecond)
+	_, err := DialTimeout(n, "cli", "srv", 50*time.Millisecond, clock.System)
+	if !IsTimeout(err) {
+		t.Fatalf("DialTimeout err = %v, want timeout", err)
+	}
+	l.Close()
+}
+
+func TestTCPConnDeadline(t *testing.T) {
+	n := NewTCPNetwork(nil)
+	l, err := n.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		select {} // hold the conn open, never write
+	}()
+	c, err := n.Dial("client", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	_, err = c.Read(make([]byte, 1))
+	if !IsTimeout(err) {
+		t.Fatalf("tcp read err = %v, want timeout", err)
 	}
 }

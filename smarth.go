@@ -55,6 +55,18 @@ type ClientOptions = client.Options
 // packet sizes).
 type WriteOptions = client.WriteOptions
 
+// Timeouts bound the blocking points of the write path (dial, setup
+// ack, FNFA, ack progress, RPC calls); zero fields disable that bound.
+// Set via ClientOptions.Timeouts or WriteOptions.Timeouts.
+type Timeouts = client.Timeouts
+
+// DefaultTimeouts returns the production timeout defaults.
+func DefaultTimeouts() Timeouts { return client.DefaultTimeouts() }
+
+// NoTimeouts disables every write-path timeout (legacy block-forever
+// behavior, as used by the discrete-event-simulation figures).
+func NoTimeouts() Timeouts { return client.NoTimeouts() }
+
 // WriteMode selects the write protocol.
 type WriteMode = proto.WriteMode
 
