@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test race bench-hotpath
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run the hot-path benchmarks and record BENCH_hotpath.json (preserving
+# the pre-change baseline entry).
+bench-hotpath:
+	$(GO) run ./cmd/smarth-hotpath -out BENCH_hotpath.json

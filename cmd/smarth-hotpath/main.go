@@ -1,0 +1,104 @@
+// Command smarth-hotpath measures the hot data path — the packet codec
+// in isolation and a live 64 MB upload through the full stack in both
+// protocols — and records the results as BENCH_hotpath.json, so the
+// allocation profile of the write path is tracked across changes.
+//
+// Usage:
+//
+//	smarth-hotpath                     # run and update BENCH_hotpath.json
+//	smarth-hotpath -out path.json      # write elsewhere
+//	smarth-hotpath -file-mb 16         # smaller live upload
+//
+// If the output file already exists, its "baseline" entry is preserved
+// (the numbers recorded before the zero-allocation rework); otherwise
+// the current run seeds the baseline. The "current" entry is always
+// overwritten, so the JSON reads as before-vs-now.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/hotbench"
+	"repro/internal/proto"
+)
+
+// Result is one benchmark's steady-state cost.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// Report is the BENCH_hotpath.json document.
+type Report struct {
+	// Baseline holds the pre-change numbers and is preserved across
+	// runs; Current is overwritten every run.
+	Baseline []Result `json:"baseline"`
+	Current  []Result `json:"current"`
+}
+
+func run(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(fn)
+	res := Result{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BPerOp:      r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerS = (float64(r.Bytes) * float64(r.N) / 1e6) / r.T.Seconds()
+	}
+	fmt.Printf("%-28s %14.0f ns/op %12d B/op %8d allocs/op",
+		name, res.NsPerOp, res.BPerOp, res.AllocsPerOp)
+	if res.MBPerS > 0 {
+		fmt.Printf(" %8.1f MB/s", res.MBPerS)
+	}
+	fmt.Println()
+	return res
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output JSON path")
+	fileMB := flag.Int64("file-mb", 64, "live-upload file size in MB")
+	flag.Parse()
+
+	var report Report
+	if prev, err := os.ReadFile(*out); err == nil {
+		var old Report
+		if json.Unmarshal(prev, &old) == nil {
+			report.Baseline = old.Baseline
+		}
+	}
+
+	fileBytes := *fileMB << 20
+	report.Current = []Result{
+		run("PacketRoundTrip", hotbench.PacketRoundTrip),
+		run("AckRoundTrip", hotbench.AckRoundTrip),
+		run(fmt.Sprintf("LiveWrite%dMB/SMARTH", *fileMB), func(b *testing.B) {
+			hotbench.LiveWrite(b, proto.ModeSmarth, fileBytes)
+		}),
+		run(fmt.Sprintf("LiveWrite%dMB/HDFS", *fileMB), func(b *testing.B) {
+			hotbench.LiveWrite(b, proto.ModeHDFS, fileBytes)
+		}),
+	}
+	if report.Baseline == nil {
+		report.Baseline = report.Current
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

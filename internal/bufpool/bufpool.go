@@ -1,0 +1,55 @@
+// Package bufpool is the shared free-list of frame-sized byte buffers
+// used by the hot data path (internal/proto packet frames) and the RPC
+// layer (internal/rpc receive buffers). Pooling these removes the
+// per-message allocation that otherwise dominates the write pipeline:
+// every 64 KB packet used to allocate a fresh frame on encode and on
+// decode at every pipeline hop.
+//
+// Buffers are handed out as *[]byte so the pointer itself can be pooled
+// without allocating on Put (a plain []byte stored in a sync.Pool would
+// escape to an interface allocation on every Put). Steady state, a
+// pipeline's buffers cycle between a handful of pool entries sized to
+// the largest frame seen (~68 KB for a default packet).
+package bufpool
+
+import "sync"
+
+var pool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+// Get returns a pooled buffer with len n (contents undefined). The
+// buffer must be returned with Put exactly once, after which the caller
+// must not touch it again.
+func Get(n int) *[]byte {
+	bp := pool.Get().(*[]byte)
+	if cap(*bp) < n {
+		b := make([]byte, n)
+		*bp = b
+	} else {
+		*bp = (*bp)[:n]
+	}
+	return bp
+}
+
+// GetCap returns a pooled buffer with len 0 and cap at least n, for
+// append-style encoding. Return it with Put.
+func GetCap(n int) *[]byte {
+	bp := Get(n)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// Put recycles a buffer obtained from Get or GetCap. The slice header
+// may have been re-assigned by appends; the current backing array is
+// what gets pooled. nil is ignored.
+func Put(bp *[]byte) {
+	if bp == nil {
+		return
+	}
+	*bp = (*bp)[:0]
+	pool.Put(bp)
+}

@@ -45,16 +45,25 @@ func NumChunks(n, chunkSize int) int {
 
 // Sum computes per-chunk CRC32C checksums of data.
 func Sum(data []byte, chunkSize int) []uint32 {
-	n := NumChunks(len(data), chunkSize)
-	sums := make([]uint32, 0, n)
+	return AppendSums(make([]uint32, 0, NumChunks(len(data), chunkSize)), data, chunkSize)
+}
+
+// AppendSums appends data's per-chunk CRC32C checksums to dst and
+// returns the extended slice. Callers on the hot path pass a reusable
+// scratch slice (dst[:0]) so a steady-state packet stream computes its
+// checksums without allocating.
+func AppendSums(dst []uint32, data []byte, chunkSize int) []uint32 {
+	if chunkSize <= 0 {
+		panic("checksum: non-positive chunk size")
+	}
 	for off := 0; off < len(data); off += chunkSize {
 		end := off + chunkSize
 		if end > len(data) {
 			end = len(data)
 		}
-		sums = append(sums, crc32.Checksum(data[off:end], castagnoli))
+		dst = append(dst, crc32.Checksum(data[off:end], castagnoli))
 	}
-	return sums
+	return dst
 }
 
 // Verify checks data against per-chunk checksums. The number of checksums
@@ -72,6 +81,31 @@ func Verify(data []byte, sums []uint32, chunkSize int) error {
 		got := crc32.Checksum(data[off:end], castagnoli)
 		if got != sums[i] {
 			return &ErrMismatch{Chunk: i, Want: sums[i], Got: got}
+		}
+	}
+	return nil
+}
+
+// VerifyEncoded checks data directly against big-endian wire-encoded
+// checksums (the sums region of a packet frame), so a pipeline hop can
+// verify a packet without first decoding the checksums into a []uint32.
+// len(raw) must be exactly NumChunks(len(data)) * BytesPerChecksum.
+func VerifyEncoded(data, raw []byte, chunkSize int) error {
+	if len(raw)%BytesPerChecksum != 0 {
+		return fmt.Errorf("checksum: encoded length %d not a multiple of %d", len(raw), BytesPerChecksum)
+	}
+	want := NumChunks(len(data), chunkSize)
+	if len(raw)/BytesPerChecksum != want {
+		return fmt.Errorf("checksum: have %d checksums for %d chunks", len(raw)/BytesPerChecksum, want)
+	}
+	for i, off := 0, 0; off < len(data); i, off = i+1, off+chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		got := crc32.Checksum(data[off:end], castagnoli)
+		if w := binary.BigEndian.Uint32(raw[i*BytesPerChecksum:]); got != w {
+			return &ErrMismatch{Chunk: i, Want: w, Got: got}
 		}
 	}
 	return nil

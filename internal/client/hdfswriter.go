@@ -52,12 +52,17 @@ func (w *hdfsWriter) Write(p []byte) (int, error) {
 	w.buf = append(w.buf, p...)
 	w.addBytes(len(p))
 	for int64(len(w.buf)) >= w.opts.BlockSize {
-		blockData := w.buf[:w.opts.BlockSize]
-		if err := w.flushBlock(blockData); err != nil {
+		bs := int(w.opts.BlockSize)
+		// flushBlock is synchronous (stop-and-wait), so the block can be
+		// streamed straight out of w.buf with no staging copy.
+		if err := w.flushBlock(w.buf[:bs]); err != nil {
 			w.err = err
 			return 0, err
 		}
-		w.buf = w.buf[w.opts.BlockSize:]
+		// Compact rather than re-slice: the re-slice would pin every
+		// consumed block in the backing array for the file's lifetime.
+		rem := copy(w.buf, w.buf[bs:])
+		w.buf = w.buf[:rem]
 	}
 	return len(p), nil
 }

@@ -165,6 +165,15 @@ func (c *Client) streamBlock(p *pipelineConn, data []byte, packetSize int) error
 	}
 	p.setLastSeqno(int64(numPackets - 1))
 
+	// One reused packet struct and checksum scratch for the whole block;
+	// WritePacket retains neither. The stream is corked so packets
+	// coalesce in the conn's write buffer — the Last packet (and an
+	// explicit uncork, for safety on early error returns) flushes. Acks
+	// ride a separate direction, so nothing waits on this buffer.
+	_ = p.pc.SetCork(true)
+	defer func() { _ = p.pc.SetCork(false) }()
+	var pkt proto.Packet
+	var sums []uint32
 	var seqno int64
 	for off := 0; off < len(data) || seqno == 0; {
 		end := off + packetSize
@@ -172,14 +181,15 @@ func (c *Client) streamBlock(p *pipelineConn, data []byte, packetSize int) error
 			end = len(data)
 		}
 		payload := data[off:end]
-		pkt := &proto.Packet{
+		sums = checksum.AppendSums(sums[:0], payload, checksum.DefaultChunkSize)
+		pkt = proto.Packet{
 			Seqno:  seqno,
 			Offset: int64(off),
 			Last:   seqno == int64(numPackets-1),
-			Sums:   checksum.Sum(payload, checksum.DefaultChunkSize),
+			Sums:   sums,
 			Data:   payload,
 		}
-		if err := p.pc.WritePacket(pkt); err != nil {
+		if err := p.pc.WritePacket(&pkt); err != nil {
 			return &pipelineError{lb: p.lb, badIndex: 0, cause: err}
 		}
 		seqno++

@@ -130,9 +130,10 @@ type blockStream struct {
 	c  *Client
 	lb block.LocatedBlock
 
-	next      int64 // absolute block offset of the next byte to deliver
-	end       int64 // absolute block offset one past the last byte wanted
-	buf       []byte
+	next      int64  // absolute block offset of the next byte to deliver
+	end       int64  // absolute block offset one past the last byte wanted
+	buf       []byte // undelivered bytes; aliases scratch
+	scratch   []byte // reused copy-out buffer backing buf
 	pc        *proto.Conn
 	curTarget string
 	tried     map[string]bool // replicas that failed since the last progress
@@ -246,7 +247,8 @@ func (b *blockStream) fill() error {
 	if err != nil {
 		return err
 	}
-	if err := checksum.Verify(pkt.Data, pkt.Sums, checksum.DefaultChunkSize); err != nil {
+	defer pkt.Release()
+	if err := checksum.VerifyEncoded(pkt.Data, pkt.RawSums, checksum.DefaultChunkSize); err != nil {
 		return err
 	}
 	data := pkt.Data
@@ -267,8 +269,11 @@ func (b *blockStream) fill() error {
 	if len(data) > 0 && len(b.tried) > 0 {
 		b.tried = make(map[string]bool)
 	}
-	// Copy out of the connection's read buffer.
-	b.buf = append([]byte(nil), data...)
+	// Copy out of the pooled packet into the stream's reused scratch
+	// buffer before Release recycles the frame. buf is fully consumed
+	// before the next fill, so overwriting scratch is safe.
+	b.scratch = append(b.scratch[:0], data...)
+	b.buf = b.scratch
 	b.next += int64(len(data))
 	if pkt.Last && b.next < b.end {
 		return io.ErrUnexpectedEOF

@@ -80,6 +80,41 @@ type smarthWriter struct {
 	activeDNs map[string]bool
 	// errored is Algorithm 4's error pipeline set.
 	errored []failedBlock
+	// free recycles block-sized staging buffers between pipelines: a
+	// buffer is checked out per launched block and returned when that
+	// block's acks drain (or its recovery completes). Bounded by the
+	// pipeline cap, so steady state stages maxPipelines+1 buffers total
+	// instead of allocating BlockSize per block.
+	free [][]byte
+}
+
+// getBlockBuf returns a BlockSize-capacity staging buffer, reusing a
+// drained pipeline's buffer when one is free.
+func (w *smarthWriter) getBlockBuf() []byte {
+	w.mu.Lock()
+	if n := len(w.free); n > 0 {
+		b := w.free[n-1]
+		w.free = w.free[:n-1]
+		w.mu.Unlock()
+		return b
+	}
+	w.mu.Unlock()
+	return make([]byte, w.opts.BlockSize)
+}
+
+// putBlockBuf returns a staging buffer to the free list. Callers must
+// hold no reference afterwards; buffers still owned by a failed block's
+// recovery entry are simply not returned.
+func (w *smarthWriter) putBlockBuf(b []byte) {
+	if int64(cap(b)) < w.opts.BlockSize {
+		return
+	}
+	b = b[:cap(b)]
+	w.mu.Lock()
+	if len(w.free) <= w.maxPipelines {
+		w.free = append(w.free, b)
+	}
+	w.mu.Unlock()
 }
 
 func (w *smarthWriter) Write(p []byte) (int, error) {
@@ -92,13 +127,21 @@ func (w *smarthWriter) Write(p []byte) (int, error) {
 	w.buf = append(w.buf, p...)
 	w.addBytes(len(p))
 	for int64(len(w.buf)) >= w.opts.BlockSize {
-		blockData := make([]byte, w.opts.BlockSize)
-		copy(blockData, w.buf[:w.opts.BlockSize])
+		bs := int(w.opts.BlockSize)
+		// Stage the block in a recycled buffer: launchBlock returns at
+		// the FNFA, while the pipeline keeps reading blockData until its
+		// acks drain, so the staging copy must outlive this loop.
+		blockData := w.getBlockBuf()[:bs]
+		copy(blockData, w.buf[:bs])
 		if err := w.launchBlock(blockData); err != nil {
 			w.werr = err
 			return 0, err
 		}
-		w.buf = w.buf[w.opts.BlockSize:]
+		// Compact rather than re-slice: w.buf = w.buf[bs:] would keep
+		// the consumed prefix live (the slice still pins the whole
+		// backing array) and grow a fresh array on every block.
+		rem := copy(w.buf, w.buf[bs:])
+		w.buf = w.buf[:rem]
 	}
 	return len(p), nil
 }
@@ -113,7 +156,7 @@ func (w *smarthWriter) Close() error {
 		return w.werr
 	}
 	if len(w.buf) > 0 {
-		data := make([]byte, len(w.buf))
+		data := w.getBlockBuf()[:len(w.buf)]
 		copy(data, w.buf)
 		w.buf = nil
 		if err := w.launchBlock(data); err != nil {
@@ -212,12 +255,22 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		w.localOptimize(&lb)
 	}
 
+	// recoverSync re-streams data synchronously; once it succeeds nothing
+	// references the staging buffer any more, so it goes back on the
+	// free list.
+	recoverSync := func(cause error) error {
+		w.recovered()
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, cause, w.opts, exclude)
+		if rerr == nil {
+			w.putBlockBuf(data)
+		}
+		return rerr
+	}
+
 	p, err := w.c.openPipeline(lb, proto.ModeSmarth, w.to)
 	if err != nil {
 		// Pipeline never formed: recover synchronously.
-		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
-		return rerr
+		return recoverSync(err)
 	}
 	w.register(p)
 
@@ -226,16 +279,12 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		p.close()
 		<-p.done
 		w.unregister(p)
-		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
-		return rerr
+		return recoverSync(err)
 	}
 	if err := p.waitFNFA(w.c.clk, w.to.FNFA); err != nil {
 		p.close()
 		w.unregister(p)
-		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, exclude)
-		return rerr
+		return recoverSync(err)
 	}
 
 	// Record the client→first-datanode transfer speed (the measurement
@@ -250,10 +299,14 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		p.close()
 		w.unregister(p)
 		if err != nil {
+			// The failed block keeps its staging buffer; drainErrors
+			// recycles it once recovery re-streams the data.
 			w.mu.Lock()
 			w.errored = append(w.errored, failedBlock{lb: lb, data: data, err: err})
 			w.cond.Broadcast()
 			w.mu.Unlock()
+		} else {
+			w.putBlockBuf(data)
 		}
 	}()
 	return nil
@@ -321,5 +374,6 @@ func (w *smarthWriter) drainErrors() error {
 		if _, err := w.c.recoverAndResendSync(w.path, fb.lb, fb.data, fb.err, w.opts, exclude); err != nil {
 			return fmt.Errorf("client: multi-pipeline recovery: %w", err)
 		}
+		w.putBlockBuf(fb.data)
 	}
 }

@@ -83,12 +83,18 @@ func (q *packetQueue) close() {
 	q.mu.Unlock()
 }
 
-// breakNow discards everything and unblocks all waiters.
+// breakNow discards everything and unblocks all waiters. Queued packets
+// are pooled (ownership passed to the queue on push), so they are
+// released here rather than dropped.
 func (q *packetQueue) breakNow() {
 	q.mu.Lock()
 	q.broken = true
+	items := q.items
 	q.items = nil
 	q.notEmpty.Broadcast()
 	q.notFull.Broadcast()
 	q.mu.Unlock()
+	for _, p := range items {
+		p.Release()
+	}
 }

@@ -71,8 +71,11 @@ func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
 		return
 	}
 
-	// Stream chunk-aligned packets with the stored checksums.
+	// Stream chunk-aligned packets with the stored checksums, corked so
+	// small reads coalesce; the Last packet flushes the tail.
+	_ = pc.SetCork(true)
 	buf := make([]byte, proto.DefaultPacketSize)
+	var pkt proto.Packet
 	var seqno int64
 	pos := start
 	for {
@@ -90,14 +93,14 @@ func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
 		if int(lastChunk) > len(sums) {
 			return // checksum metadata shorter than the data: corrupt
 		}
-		pkt := &proto.Packet{
+		pkt = proto.Packet{
 			Seqno:  seqno,
 			Offset: pos,
 			Last:   pos+int64(m) >= end,
 			Sums:   sums[firstChunk:lastChunk],
 			Data:   data,
 		}
-		if err := pc.WritePacket(pkt); err != nil {
+		if err := pc.WritePacket(&pkt); err != nil {
 			return
 		}
 		pos += int64(m)

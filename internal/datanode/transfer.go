@@ -57,7 +57,10 @@ func (dn *Datanode) transferBlock(cmd nnapi.ReplicateCmd) error {
 		numPackets = 1
 	}
 	buf := make([]byte, proto.DefaultPacketSize)
+	var sums []uint32
+	var pkt proto.Packet
 	var sent int64
+	_ = pc.SetCork(true) // stream corked; the Last packet flushes
 	for seq := 0; seq < numPackets; seq++ {
 		want := int64(len(buf))
 		if want > length-sent {
@@ -68,14 +71,15 @@ func (dn *Datanode) transferBlock(cmd nnapi.ReplicateCmd) error {
 			return fmt.Errorf("datanode %s: transfer %v: read replica: %w", dn.opts.Name, cmd.Block, err)
 		}
 		data := buf[:n]
-		pkt := &proto.Packet{
+		sums = checksum.AppendSums(sums[:0], data, checksum.DefaultChunkSize)
+		pkt = proto.Packet{
 			Seqno:  int64(seq),
 			Offset: sent,
 			Last:   seq == numPackets-1,
-			Sums:   checksum.Sum(data, checksum.DefaultChunkSize),
+			Sums:   sums,
 			Data:   data,
 		}
-		if err := pc.WritePacket(pkt); err != nil {
+		if err := pc.WritePacket(&pkt); err != nil {
 			return err
 		}
 		sent += int64(n)

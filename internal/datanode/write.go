@@ -95,12 +95,21 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Cork the mirror: packets coalesce in the write buffer and
+			// reach the wire when it fills or on the Last packet. The
+			// reverse ack channel is a separate conn, so nothing
+			// latency-sensitive sits behind the cork.
+			_ = mirror.SetCork(true)
 			for {
 				pkt, ok := queue.pop()
 				if !ok {
+					// Drained (or broken): push out anything still corked.
+					_ = mirror.Flush()
 					return
 				}
-				if err := mirror.WritePacket(pkt); err != nil {
+				err := mirror.WritePacket(pkt)
+				pkt.Release()
+				if err != nil {
 					abort()
 					return
 				}
@@ -113,10 +122,12 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 	go func() {
 		defer wg.Done()
 		if mirror == nil {
-			// Last datanode: acknowledge each locally stored packet.
+			// Last datanode: acknowledge each locally stored packet. One
+			// reused ack; WriteAck never retains it.
+			ack := proto.Ack{Kind: proto.AckData, Statuses: []proto.Status{proto.StatusSuccess}}
 			for st := range statusCh {
-				ack := &proto.Ack{Kind: proto.AckData, Seqno: st.seqno, Statuses: []proto.Status{proto.StatusSuccess}}
-				if sender.send(ack) != nil {
+				ack.Seqno = st.seqno
+				if sender.send(&ack) != nil {
 					abort()
 					return
 				}
@@ -130,6 +141,10 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 		// Both sides deliver packets in order, so the pairing must agree
 		// on the seqno; a skew means an ack was lost or duplicated and
 		// the merged statuses would be stamped onto the wrong packet.
+		// The merged ack and its statuses are per-loop scratch: downAck
+		// is conn-owned and sender.send finishes with the merged ack
+		// before the next ReadAck overwrites it.
+		merged := proto.Ack{Kind: proto.AckData}
 		for {
 			downAck, err := mirror.ReadAck()
 			if err != nil {
@@ -153,12 +168,10 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 					abort()
 					return
 				}
-				merged := &proto.Ack{
-					Kind:     proto.AckData,
-					Seqno:    downAck.Seqno,
-					Statuses: append([]proto.Status{proto.StatusSuccess}, downAck.Statuses...),
-				}
-				if sender.send(merged) != nil {
+				merged.Seqno = downAck.Seqno
+				merged.Statuses = append(merged.Statuses[:0], proto.StatusSuccess)
+				merged.Statuses = append(merged.Statuses, downAck.Statuses...)
+				if sender.send(&merged) != nil {
 					abort()
 					return
 				}
@@ -207,11 +220,14 @@ func (dn *Datanode) connectMirror(hdr *proto.WriteBlockHeader) (*proto.Conn, []p
 		m.Close()
 		return nil, nil, err
 	}
+	// ack is conn-owned scratch; copy the statuses we return. Once per
+	// pipeline, so off the hot path.
+	sts := append([]proto.Status(nil), ack.Statuses...)
 	if !ack.OK() {
 		m.Close()
-		return nil, ack.Statuses, errSetupFailed
+		return nil, sts, errSetupFailed
 	}
-	return m, ack.Statuses, nil
+	return m, sts, nil
 }
 
 var errSetupFailed = &setupError{}
@@ -243,10 +259,14 @@ func (dn *Datanode) receiveLoop(
 			abort()
 			return
 		}
+		// Snapshot the metadata before the packet changes hands: pushing
+		// it to the forward queue transfers ownership to the forwarder,
+		// which may WritePacket and Release it while we are still here.
+		seqno, last, nData := pkt.Seqno, pkt.Last, len(pkt.Data)
 		st := proto.StatusSuccess
-		if checksum.Verify(pkt.Data, pkt.Sums, checksum.DefaultChunkSize) != nil {
+		if checksum.VerifyEncoded(pkt.Data, pkt.RawSums, checksum.DefaultChunkSize) != nil {
 			st = proto.StatusErrorChecksum
-		} else if len(pkt.Data) > 0 {
+		} else if nData > 0 {
 			if _, werr := w.Write(pkt.Data); werr != nil {
 				st = proto.StatusError
 			}
@@ -254,23 +274,28 @@ func (dn *Datanode) receiveLoop(
 		if st != proto.StatusSuccess {
 			// Surface the failure upstream, then tear the pipeline down;
 			// the client recovers per Algorithm 3/4.
-			_ = sender.send(&proto.Ack{Kind: proto.AckData, Seqno: pkt.Seqno, Statuses: []proto.Status{st}})
+			pkt.Release()
+			_ = sender.send(&proto.Ack{Kind: proto.AckData, Seqno: seqno, Statuses: []proto.Status{st}})
 			abort()
 			return
 		}
-		received += int64(len(pkt.Data))
+		received += int64(nData)
 		if hasMirror {
 			if !queue.push(pkt) {
+				// A broken queue did not take ownership.
+				pkt.Release()
 				abort()
 				return
 			}
+		} else {
+			pkt.Release()
 		}
 		select {
-		case statusCh <- localStatus{seqno: pkt.Seqno, last: pkt.Last}:
+		case statusCh <- localStatus{seqno: seqno, last: last}:
 		case <-done:
 			return
 		}
-		if pkt.Last {
+		if last {
 			if err := w.Commit(); err != nil {
 				dn.opts.Logf("datanode %s: commit %v: %v", dn.opts.Name, hdr.Block, err)
 				abort()
@@ -282,7 +307,7 @@ func (dn *Datanode) receiveLoop(
 			if hdr.Depth == 0 && hdr.Mode == proto.ModeSmarth {
 				// FIRST NODE FINISH ACK: the whole block is stored here;
 				// the client may open its next pipeline now.
-				_ = sender.send(&proto.Ack{Kind: proto.AckFNFA, Seqno: pkt.Seqno, Statuses: []proto.Status{proto.StatusSuccess}})
+				_ = sender.send(&proto.Ack{Kind: proto.AckFNFA, Seqno: seqno, Statuses: []proto.Status{proto.StatusSuccess}})
 			}
 			return
 		}

@@ -1,0 +1,123 @@
+// Package hotbench holds the hot-path benchmark bodies shared between
+// `go test -bench=HotPath` and cmd/smarth-hotpath (which runs them via
+// testing.Benchmark and records BENCH_hotpath.json, the start of the
+// repo's performance trajectory).
+//
+// Two layers are measured: the packet codec in isolation (encode +
+// decode round trip of one 64 KB data packet) and the full live stack
+// (a 64 MB upload through real checksummed pipelines over the in-memory
+// transport, for both protocols). The interesting metrics are B/op and
+// allocs/op — the write path is supposed to be allocation-free at
+// steady state — alongside MB/s.
+package hotbench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/checksum"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/workload"
+)
+
+// PacketRoundTrip encodes and decodes one full-size data packet per
+// iteration over an in-memory stream, reusing one Conn so the steady
+// state is visible (the first iterations warm the frame pools).
+func PacketRoundTrip(b *testing.B) {
+	data := make([]byte, proto.DefaultPacketSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var sums []uint32
+	var buf bytes.Buffer
+	c := proto.NewConn(&buf)
+	b.SetBytes(proto.DefaultPacketSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums = checksum.AppendSums(sums[:0], data, checksum.DefaultChunkSize)
+		pkt := proto.Packet{Seqno: int64(i), Sums: sums, Data: data}
+		if err := c.WritePacket(&pkt); err != nil {
+			b.Fatal(err)
+		}
+		out, err := c.ReadPacket()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checksum.VerifyEncoded(out.Data, out.RawSums, checksum.DefaultChunkSize); err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+// AckRoundTrip encodes and decodes one 3-replica data ack per iteration.
+func AckRoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	c := proto.NewConn(&buf)
+	statuses := []proto.Status{proto.StatusSuccess, proto.StatusSuccess, proto.StatusSuccess}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := proto.Ack{Kind: proto.AckData, Seqno: int64(i), Statuses: statuses}
+		if err := c.WriteAck(&in); err != nil {
+			b.Fatal(err)
+		}
+		out, err := c.ReadAck()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Seqno != int64(i) || !out.OK() {
+			b.Fatalf("ack corrupted: %+v", out)
+		}
+	}
+}
+
+// LiveWrite uploads fileBytes through the real concurrent stack —
+// checksums, pipelines, mirroring, acks — on an unshaped in-memory
+// network, 3-way replicated in 1 MB blocks of 64 KB packets (the
+// livebench scaling of the paper's 64 MB / 64 KB defaults).
+func LiveWrite(b *testing.B, mode proto.WriteMode, fileBytes int64) {
+	c, err := cluster.Start(cluster.Config{NumDatanodes: 9, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient("hotbench-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	opts := client.WriteOptions{
+		Replication: 3,
+		BlockSize:   1 << 20,
+		PacketSize:  64 << 10,
+		Overwrite:   true,
+	}
+	cbuf := make([]byte, 64<<10)
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		path := fmt.Sprintf("/hotbench/%s/%d", mode, i)
+		var w client.Writer
+		if mode == proto.ModeSmarth {
+			w, err = cl.CreateSmarth(path, opts)
+		} else {
+			w, err = cl.CreateHDFS(path, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.CopyBuffer(struct{ io.Writer }{w}, workload.NewReader(1, fileBytes), cbuf); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

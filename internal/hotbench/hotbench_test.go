@@ -1,0 +1,26 @@
+package hotbench
+
+import (
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// The HotPath benchmark family: run with
+//
+//	go test -run=NONE -bench=HotPath -benchmem ./internal/hotbench/
+//
+// or `make bench-hotpath`, which records the results in
+// BENCH_hotpath.json.
+
+func BenchmarkHotPathPacketRoundTrip(b *testing.B) { PacketRoundTrip(b) }
+
+func BenchmarkHotPathAckRoundTrip(b *testing.B) { AckRoundTrip(b) }
+
+func BenchmarkHotPathLiveWrite64MB(b *testing.B) {
+	for _, mode := range []proto.WriteMode{proto.ModeSmarth, proto.ModeHDFS} {
+		b.Run(mode.String(), func(b *testing.B) {
+			LiveWrite(b, mode, 64<<20)
+		})
+	}
+}

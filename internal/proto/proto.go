@@ -9,7 +9,10 @@
 // stream transport (in-memory pipes, TCP).
 package proto
 
-import "repro/internal/block"
+import (
+	"repro/internal/block"
+	"repro/internal/checksum"
+)
 
 // Version is bumped on incompatible wire changes.
 const Version = 1
@@ -113,12 +116,59 @@ type ReadBlockHeader struct {
 }
 
 // Packet is one unit of data transfer within a block.
+//
+// Ownership: a Packet returned by Conn.ReadPacket is pooled — its Data
+// and RawSums alias a recycled frame buffer, and the receiver owns it
+// until it calls Release (exactly once), after which every field is
+// invalid. Ownership moves with the pointer: a datanode that enqueues a
+// packet for its mirror transfers the release duty to the forwarder.
+// Locally constructed packets (the send path) are plain values; Release
+// on them is a no-op and WritePacket never retains any field.
 type Packet struct {
 	Seqno  int64 // sequence number within the block, starting at 0
 	Offset int64 // offset of Data within the block
 	Last   bool  // true on the final (possibly empty) packet of the block
-	Sums   []uint32
-	Data   []byte
+	// Sums holds decoded per-chunk checksums on the send path. ReadPacket
+	// leaves it nil and fills RawSums instead; decode explicitly with
+	// DecodedSums when the uint32s are really needed.
+	Sums []uint32
+	// RawSums is the big-endian wire encoding of the checksums. On
+	// received packets it aliases the pooled frame; verify against it
+	// with checksum.VerifyEncoded. WritePacket prefers RawSums over Sums
+	// when both are set, so forwarding never re-encodes.
+	RawSums []byte
+	Data    []byte
+
+	// frame is the pooled buffer Data/RawSums alias; pooled marks a
+	// packet struct that came from the packet pool (ReadPacket).
+	frame  *[]byte
+	pooled bool
+}
+
+// Release returns a packet obtained from ReadPacket (and its frame
+// buffer) to the pools. It must be called exactly once per received
+// packet, after which the packet and its Data/RawSums must not be
+// touched. Safe no-op on locally constructed packets.
+func (p *Packet) Release() {
+	fr, pooled := p.frame, p.pooled
+	if fr == nil && !pooled {
+		return
+	}
+	*p = Packet{}
+	releaseFrame(fr)
+	if pooled {
+		packetPool.Put(p)
+	}
+}
+
+// DecodedSums returns the packet's checksums as uint32 values, decoding
+// RawSums when Sums is unset. It allocates; the hot path verifies with
+// checksum.VerifyEncoded instead.
+func (p *Packet) DecodedSums() ([]uint32, error) {
+	if p.Sums != nil || p.RawSums == nil {
+		return p.Sums, nil
+	}
+	return checksum.Decode(p.RawSums)
 }
 
 // AckKind discriminates pipeline acks.
@@ -151,6 +201,12 @@ func (k AckKind) String() string {
 
 // Ack travels the pipeline in reverse, from the last datanode back to the
 // client. Each datanode prepends its own status.
+//
+// Ownership: the *Ack returned by Conn.ReadAck is owned by the Conn and
+// valid only until the next ReadAck on that Conn (acks are per-packet
+// hot-path traffic; reusing one struct keeps the receive path
+// allocation-free). Callers that need an ack beyond that must copy it,
+// including the Statuses slice.
 type Ack struct {
 	Kind     AckKind
 	Seqno    int64    // for AckData: the packet acknowledged

@@ -116,9 +116,17 @@ func TestPacketRoundTrip(t *testing.T) {
 	if !bytes.Equal(out.Data, in.Data) {
 		t.Fatal("data mismatch")
 	}
-	if err := checksum.Verify(out.Data, out.Sums, DefaultChunkSize); err != nil {
+	if err := checksum.VerifyEncoded(out.Data, out.RawSums, DefaultChunkSize); err != nil {
 		t.Fatal(err)
 	}
+	sums, err := out.DecodedSums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sums, in.Sums) {
+		t.Fatalf("sums mismatch: %v vs %v", sums, in.Sums)
+	}
+	out.Release()
 }
 
 func TestEmptyLastPacket(t *testing.T) {
@@ -132,9 +140,10 @@ func TestEmptyLastPacket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !out.Last || len(out.Data) != 0 || len(out.Sums) != 0 {
+	if !out.Last || len(out.Data) != 0 || len(out.RawSums) != 0 {
 		t.Fatalf("empty last packet decoded as %+v", out)
 	}
+	out.Release()
 }
 
 func TestAckRoundTrip(t *testing.T) {
@@ -240,9 +249,10 @@ func TestQuickPacketRoundTrip(t *testing.T) {
 		if err != nil {
 			return false
 		}
+		defer out.Release()
 		return out.Seqno == seqno && out.Offset == offset && out.Last == last &&
 			bytes.Equal(out.Data, data) &&
-			checksum.Verify(out.Data, out.Sums, DefaultChunkSize) == nil
+			checksum.VerifyEncoded(out.Data, out.RawSums, DefaultChunkSize) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -292,9 +302,41 @@ func BenchmarkPacketEncodeDecode(b *testing.B) {
 		if err := c.WritePacket(&Packet{Seqno: int64(i), Sums: sums, Data: data}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.ReadPacket(); err != nil {
+		out, err := c.ReadPacket()
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
+	}
+}
+
+// BenchmarkPacketRoundTrip measures the steady-state cost of one packet
+// through the codec over a reused connection — the shape of the datanode
+// receive/forward loop. Acceptance bound: ≤2 allocs/op.
+func BenchmarkPacketRoundTrip(b *testing.B) {
+	data := make([]byte, DefaultPacketSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var buf duplex
+	c := NewConn(&buf)
+	var sums []uint32
+	b.SetBytes(DefaultPacketSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums = checksum.AppendSums(sums[:0], data, DefaultChunkSize)
+		if err := c.WritePacket(&Packet{Seqno: int64(i), Sums: sums, Data: data}); err != nil {
+			b.Fatal(err)
+		}
+		out, err := c.ReadPacket()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checksum.VerifyEncoded(out.Data, out.RawSums, DefaultChunkSize); err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
 	}
 }
 

@@ -9,9 +9,16 @@ import (
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/bufpool"
 	"repro/internal/checksum"
 	"repro/internal/clock"
 )
+
+// packetPool recycles Packet structs between ReadPacket and Release.
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// releaseFrame returns a pooled frame buffer. nil is ignored.
+func releaseFrame(fr *[]byte) { bufpool.Put(fr) }
 
 // deadlineSetter is the subset of net.Conn deadline control that
 // transport conns implement; streams without it simply don't support
@@ -29,6 +36,19 @@ type Conn struct {
 	w *bufio.Writer
 	c io.Closer
 	d deadlineSetter
+
+	// corked suppresses the per-data-packet flush; see SetCork. Owned by
+	// the writing side, like w. whdr/rhdr are length-prefix scratch —
+	// fields rather than locals so they don't escape per frame.
+	corked bool
+	whdr   [4]byte
+	rhdr   [4]byte
+
+	// ack and ackStatuses back the *Ack returned by ReadAck, so the
+	// per-packet ack stream decodes without allocating. Owned by the
+	// reading side, like r.
+	ack         Ack
+	ackStatuses []Status
 
 	mu       sync.Mutex
 	clk      clock.Clock
@@ -128,39 +148,71 @@ func (c *Conn) Close() error {
 // Flush forces buffered writes onto the wire.
 func (c *Conn) Flush() error { return c.w.Flush() }
 
-// writeFrame emits a length-prefixed frame and flushes.
-func (c *Conn) writeFrame(payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("proto: frame of %d bytes exceeds max %d", len(payload), MaxFrame)
+// SetCork toggles corked output. While corked, data packets are not
+// flushed per frame: bytes reach the wire when the write buffer fills,
+// when a Last packet is written, or on an explicit Flush. Headers and
+// acks always flush eagerly regardless — they are latency-sensitive
+// control traffic (pipeline setup, per-packet acks, the FNFA) that must
+// never sit behind a cork. Uncorking flushes whatever is pending.
+//
+// Like writes themselves, SetCork belongs to the Conn's single writing
+// goroutine.
+func (c *Conn) SetCork(on bool) error {
+	c.corked = on
+	if !on {
+		return c.w.Flush()
+	}
+	return nil
+}
+
+// writeFrame emits one length-prefixed frame whose payload is the
+// concatenation of head and tail (either may be empty). Splitting the
+// frame into two vectors lets WritePacket send its encoded header and
+// checksums from a small pooled scratch while the 64 KB payload flows
+// straight from the caller's buffer, never memcpy'd into a frame.
+// flush=false leaves the frame in the buffer (corked packet traffic).
+func (c *Conn) writeFrame(head, tail []byte, flush bool) error {
+	n := len(head) + len(tail)
+	if n > MaxFrame {
+		return fmt.Errorf("proto: frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
 	c.armWrite()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := c.w.Write(hdr[:]); err != nil {
+	binary.BigEndian.PutUint32(c.whdr[:], uint32(n))
+	if _, err := c.w.Write(c.whdr[:]); err != nil {
 		return err
 	}
-	if _, err := c.w.Write(payload); err != nil {
+	if _, err := c.w.Write(head); err != nil {
 		return err
+	}
+	if len(tail) > 0 {
+		if _, err := c.w.Write(tail); err != nil {
+			return err
+		}
+	}
+	if !flush {
+		return nil
 	}
 	return c.w.Flush()
 }
 
-// readFrame reads one length-prefixed frame.
-func (c *Conn) readFrame() ([]byte, error) {
+// readFrame reads one length-prefixed frame into a pooled buffer. The
+// caller owns the returned buffer and must hand it back via
+// bufpool.Put (or transfer it into a Packet, whose Release does so).
+func (c *Conn) readFrame() (*[]byte, error) {
 	c.armRead()
-	var hdr [4]byte
-	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(c.r, c.rhdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(c.rhdr[:])
 	if n > MaxFrame {
 		return nil, fmt.Errorf("proto: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(c.r, buf); err != nil {
+	fr := bufpool.Get(int(n))
+	if _, err := io.ReadFull(c.r, *fr); err != nil {
+		bufpool.Put(fr)
 		return nil, err
 	}
-	return buf, nil
+	return fr, nil
 }
 
 // --- primitive append/consume helpers ---
@@ -225,8 +277,20 @@ func consumeDatanode(src []byte) (block.DatanodeInfo, []byte, error) {
 // --- operation headers ---
 
 // WriteHeader sends an operation header frame: version, op, payload.
+// Headers always flush — they open a pipeline and the peer is waiting.
 func (c *Conn) WriteHeader(op Op, h any) error {
-	buf := []byte{Version, byte(op)}
+	// Pre-size the encode scratch so headers with long target lists never
+	// grow mid-append; the buffer itself is pooled.
+	need := 2 + 24 + 2 + 2 + 16
+	if wh, ok := h.(*WriteBlockHeader); ok {
+		need += len(wh.Client)
+		for _, t := range wh.Targets {
+			need += 6 + len(t.Name) + len(t.Addr) + len(t.Rack)
+		}
+	}
+	bp := bufpool.GetCap(need)
+	defer bufpool.Put(bp)
+	buf := append(*bp, Version, byte(op))
 	switch op {
 	case OpWriteBlock:
 		wh, ok := h.(*WriteBlockHeader)
@@ -251,16 +315,19 @@ func (c *Conn) WriteHeader(op Op, h any) error {
 	default:
 		return fmt.Errorf("proto: unknown op %v", op)
 	}
-	return c.writeFrame(buf)
+	*bp = buf
+	return c.writeFrame(buf, nil, true)
 }
 
 // ReadHeader reads an operation header frame and returns the op plus the
 // decoded header (*WriteBlockHeader or *ReadBlockHeader).
 func (c *Conn) ReadHeader() (Op, any, error) {
-	buf, err := c.readFrame()
+	fr, err := c.readFrame()
 	if err != nil {
 		return 0, nil, err
 	}
+	defer bufpool.Put(fr)
+	buf := *fr
 	if len(buf) < 2 {
 		return 0, nil, io.ErrUnexpectedEOF
 	}
@@ -314,10 +381,23 @@ func (c *Conn) ReadHeader() (Op, any, error) {
 
 // --- packets ---
 
-// WritePacket frames and sends a data packet.
+// WritePacket frames and sends a data packet. Only the packet header and
+// checksums pass through a (pooled) scratch buffer; p.Data is written as
+// its own vector, so the payload is never copied into a frame. When both
+// RawSums and Sums are set, RawSums wins — a forwarding datanode re-emits
+// the wire bytes it received without re-encoding. The frame is flushed
+// unless the Conn is corked; a Last packet always flushes (the peer is
+// about to commit the block on it).
 func (c *Conn) WritePacket(p *Packet) error {
-	need := 8 + 8 + 1 + 4 + 4 + len(p.Sums)*checksum.BytesPerChecksum + len(p.Data)
-	buf := make([]byte, 0, need)
+	sumBytes := len(p.RawSums)
+	nSums := sumBytes / checksum.BytesPerChecksum
+	if p.RawSums == nil {
+		nSums = len(p.Sums)
+		sumBytes = nSums * checksum.BytesPerChecksum
+	}
+	bp := bufpool.GetCap(25 + sumBytes)
+	defer bufpool.Put(bp)
+	buf := *bp
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Seqno))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(p.Offset))
 	var flags byte
@@ -325,75 +405,100 @@ func (c *Conn) WritePacket(p *Packet) error {
 		flags |= 1
 	}
 	buf = append(buf, flags)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Sums)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(nSums))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(p.Data)))
-	buf = checksum.Encode(buf, p.Sums)
-	buf = append(buf, p.Data...)
-	return c.writeFrame(buf)
+	if p.RawSums != nil {
+		buf = append(buf, p.RawSums...)
+	} else {
+		buf = checksum.Encode(buf, p.Sums)
+	}
+	*bp = buf
+	return c.writeFrame(buf, p.Data, !c.corked || p.Last)
 }
 
-// ReadPacket reads one data packet.
+// ReadPacket reads one data packet into a pooled Packet whose Data and
+// RawSums alias a pooled frame buffer. The caller owns the packet and
+// must Release it exactly once; see the Packet ownership contract.
+// Checksums are not decoded — verify with checksum.VerifyEncoded
+// against RawSums, or decode explicitly with DecodedSums.
 func (c *Conn) ReadPacket() (*Packet, error) {
-	buf, err := c.readFrame()
+	fr, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
+	buf := *fr
 	if len(buf) < 25 {
+		bufpool.Put(fr)
 		return nil, io.ErrUnexpectedEOF
-	}
-	p := &Packet{
-		Seqno:  int64(binary.BigEndian.Uint64(buf)),
-		Offset: int64(binary.BigEndian.Uint64(buf[8:])),
-		Last:   buf[16]&1 != 0,
 	}
 	nSums := int(binary.BigEndian.Uint32(buf[17:]))
 	nData := int(binary.BigEndian.Uint32(buf[21:]))
 	rest := buf[25:]
 	sumBytes := nSums * checksum.BytesPerChecksum
-	if len(rest) != sumBytes+nData {
-		return nil, fmt.Errorf("proto: packet body %d bytes, want %d sums + %d data", len(rest), sumBytes, nData)
+	if nSums > MaxFrame/checksum.BytesPerChecksum || len(rest) != sumBytes+nData {
+		bufpool.Put(fr)
+		return nil, fmt.Errorf("proto: packet body %d bytes, want %d sums + %d data", len(rest), nSums, nData)
 	}
-	if p.Sums, err = checksum.Decode(rest[:sumBytes]); err != nil {
-		return nil, err
+	p := packetPool.Get().(*Packet)
+	*p = Packet{
+		Seqno:   int64(binary.BigEndian.Uint64(buf)),
+		Offset:  int64(binary.BigEndian.Uint64(buf[8:])),
+		Last:    buf[16]&1 != 0,
+		RawSums: rest[:sumBytes],
+		Data:    rest[sumBytes:],
+		frame:   fr,
+		pooled:  true,
 	}
-	p.Data = rest[sumBytes:]
 	return p, nil
 }
 
 // --- acks ---
 
-// WriteAck frames and sends a pipeline ack.
+// WriteAck frames and sends a pipeline ack. Acks always flush: they are
+// the latency-critical reverse traffic (per-packet acks and the FNFA)
+// that corked data must never delay.
 func (c *Conn) WriteAck(a *Ack) error {
-	buf := make([]byte, 0, 16+len(a.Statuses))
+	bp := bufpool.GetCap(11 + len(a.Statuses))
+	defer bufpool.Put(bp)
+	buf := *bp
 	buf = append(buf, byte(a.Kind))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(a.Seqno))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(a.Statuses)))
 	for _, s := range a.Statuses {
 		buf = append(buf, byte(s))
 	}
-	return c.writeFrame(buf)
+	*bp = buf
+	return c.writeFrame(buf, nil, true)
 }
 
-// ReadAck reads one pipeline ack.
+// ReadAck reads one pipeline ack. The returned *Ack is owned by the
+// Conn and valid only until the next ReadAck on this Conn; callers that
+// retain it (or its Statuses) must copy.
 func (c *Conn) ReadAck() (*Ack, error) {
-	buf, err := c.readFrame()
+	fr, err := c.readFrame()
 	if err != nil {
 		return nil, err
 	}
+	defer bufpool.Put(fr)
+	buf := *fr
 	if len(buf) < 11 {
 		return nil, io.ErrUnexpectedEOF
-	}
-	a := &Ack{
-		Kind:  AckKind(buf[0]),
-		Seqno: int64(binary.BigEndian.Uint64(buf[1:])),
 	}
 	n := int(binary.BigEndian.Uint16(buf[9:]))
 	if len(buf) != 11+n {
 		return nil, fmt.Errorf("proto: ack body %d bytes, want %d statuses", len(buf)-11, n)
 	}
-	a.Statuses = make([]Status, n)
-	for i := 0; i < n; i++ {
-		a.Statuses[i] = Status(buf[11+i])
+	if cap(c.ackStatuses) < n {
+		c.ackStatuses = make([]Status, n)
 	}
-	return a, nil
+	sts := c.ackStatuses[:n]
+	for i := 0; i < n; i++ {
+		sts[i] = Status(buf[11+i])
+	}
+	c.ack = Ack{
+		Kind:     AckKind(buf[0]),
+		Seqno:    int64(binary.BigEndian.Uint64(buf[1:])),
+		Statuses: sts,
+	}
+	return &c.ack, nil
 }

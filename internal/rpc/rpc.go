@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bufpool"
 	"repro/internal/clock"
 	"repro/internal/transport"
 )
@@ -44,12 +45,15 @@ func writeFrame(w io.Writer, v any) error {
 	if len(payload) > MaxMessage {
 		return fmt.Errorf("rpc: message of %d bytes exceeds max", len(payload))
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
+	// Assemble length prefix + payload in one pooled buffer so the frame
+	// leaves in a single transport write (there is no bufio on RPC conns;
+	// two writes here meant two transport round trips per message).
+	bp := bufpool.GetCap(4 + len(payload))
+	defer bufpool.Put(bp)
+	buf := binary.BigEndian.AppendUint32(*bp, uint32(len(payload)))
+	buf = append(buf, payload...)
+	*bp = buf
+	_, err = w.Write(buf)
 	return err
 }
 
@@ -62,7 +66,11 @@ func readFrame(r io.Reader, v any) error {
 	if n > MaxMessage {
 		return fmt.Errorf("rpc: incoming message of %d bytes exceeds max", n)
 	}
-	buf := make([]byte, n)
+	// The decode buffer is pooled: json.Unmarshal copies everything it
+	// keeps (json.RawMessage included), so nothing aliases it after.
+	bp := bufpool.Get(int(n))
+	defer bufpool.Put(bp)
+	buf := *bp
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return err
 	}

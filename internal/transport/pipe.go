@@ -27,12 +27,20 @@ func (*timeoutError) Temporary() bool { return true }
 // bytes with blocking reads and writes, modelling a TCP socket buffer.
 // Read and write deadlines are supported; the clock driving them is the
 // network's, so deadlines work under a virtual clock too.
+//
+// The FIFO is a fixed ring: buf is allocated once at capacity (lazily,
+// on the first write) and bytes wrap around it, so a long-lived
+// connection streams any amount of data with a single buffer allocation
+// — the earlier append/re-slice FIFO reallocated its backing array
+// continuously under load.
 type pipeBuf struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond
 	notFull  *sync.Cond
 	clk      clock.Clock
-	data     []byte
+	buf      []byte // ring storage, len == capacity once allocated
+	r        int    // index of the first unread byte
+	n        int    // unread byte count
 	capacity int
 	closed   bool // write side closed cleanly; drained reads return io.EOF
 	rclosed  bool // read side closed locally; reads and peer writes fail
@@ -142,7 +150,7 @@ func (b *pipeBuf) Write(p []byte) (int, error) {
 		if b.closed {
 			return written, io.ErrClosedPipe
 		}
-		space := b.capacity - len(b.data)
+		space := b.capacity - b.n
 		if space == 0 {
 			if !b.wDeadline.IsZero() {
 				if !b.clk.Now().Before(b.wDeadline) {
@@ -156,11 +164,23 @@ func (b *pipeBuf) Write(p []byte) (int, error) {
 			b.notFull.Wait()
 			continue
 		}
+		if b.buf == nil {
+			b.buf = make([]byte, b.capacity)
+		}
 		n := len(p) - written
 		if n > space {
 			n = space
 		}
-		b.data = append(b.data, p[written:written+n]...)
+		// Copy into the ring, wrapping at the end of the storage.
+		w := b.r + b.n
+		if w >= b.capacity {
+			w -= b.capacity
+		}
+		c := copy(b.buf[w:], p[written:written+n])
+		if c < n {
+			copy(b.buf, p[written+c:written+n])
+		}
+		b.n += n
 		written += n
 		b.notEmpty.Broadcast()
 	}
@@ -175,12 +195,21 @@ func (b *pipeBuf) Read(p []byte) (int, error) {
 		if b.broken || b.rclosed {
 			return 0, ErrClosed
 		}
-		if len(b.data) > 0 {
-			n := copy(p, b.data)
-			b.data = b.data[n:]
-			if len(b.data) == 0 {
-				b.data = nil // let the backing array be reclaimed
+		if b.n > 0 {
+			n := len(p)
+			if n > b.n {
+				n = b.n
 			}
+			// Copy out of the ring, wrapping at the end of the storage.
+			c := copy(p[:n], b.buf[b.r:min(b.r+n, b.capacity)])
+			if c < n {
+				copy(p[c:n], b.buf)
+			}
+			b.r += n
+			if b.r >= b.capacity {
+				b.r -= b.capacity
+			}
+			b.n -= n
 			b.notFull.Broadcast()
 			return n, nil
 		}
@@ -218,7 +247,7 @@ func (b *pipeBuf) CloseWrite() {
 func (b *pipeBuf) CloseRead() {
 	b.mu.Lock()
 	b.rclosed = true
-	b.data = nil
+	b.buf, b.r, b.n = nil, 0, 0
 	b.notEmpty.Broadcast()
 	b.notFull.Broadcast()
 	b.mu.Unlock()
@@ -228,7 +257,7 @@ func (b *pipeBuf) CloseRead() {
 func (b *pipeBuf) Break() {
 	b.mu.Lock()
 	b.broken = true
-	b.data = nil
+	b.buf, b.r, b.n = nil, 0, 0
 	b.notEmpty.Broadcast()
 	b.notFull.Broadcast()
 	b.mu.Unlock()

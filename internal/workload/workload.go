@@ -32,6 +32,7 @@ func Data(seed int64, n int) []byte {
 type Reader struct {
 	rng    *rand.Rand
 	remain int64
+	arr    [8]byte // scratch for one rng draw; buf windows into it
 	buf    []byte
 }
 
@@ -52,12 +53,11 @@ func (r *Reader) Read(p []byte) (int, error) {
 	n := 0
 	for n < len(p) {
 		if len(r.buf) == 0 {
-			var tmp [8]byte
 			v := r.rng.Uint64()
 			for i := 0; i < 8; i++ {
-				tmp[i] = byte(v >> (8 * i))
+				r.arr[i] = byte(v >> (8 * i))
 			}
-			r.buf = tmp[:]
+			r.buf = r.arr[:]
 		}
 		c := copy(p[n:], r.buf)
 		r.buf = r.buf[c:]
