@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench-hotpath
+.PHONY: build test vet race docs-check bench-hotpath
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,16 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
+
+# Fail if any package under internal/ or cmd/ lacks a package comment
+# (the godoc surface ARCHITECTURE.md builds on).
+docs-check:
+	$(GO) test -run TestPackageDocs -count=1 .
 
 # Run the hot-path benchmarks and record BENCH_hotpath.json (preserving
 # the pre-change baseline entry).

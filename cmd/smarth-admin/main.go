@@ -9,6 +9,7 @@
 //	smarth-admin -nn 127.0.0.1:9000 -decommission dn3 -cancel
 //	smarth-admin -nn 127.0.0.1:9000 -rm /old/file
 //	smarth-admin -nn 127.0.0.1:9000 -mv /src,/dst
+//	smarth-admin -trace t.jsonl    # render a trace exported by smarth-live
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/client"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -30,7 +32,16 @@ func main() {
 	mv := flag.String("mv", "", "rename: src,dst")
 	balance := flag.Bool("balance", false, "schedule one round of replica balancing")
 	threshold := flag.Float64("threshold", 0.1, "balancer utilization deviation threshold")
+	trace := flag.String("trace", "", "render the per-pipeline timeline of a span JSONL file (no cluster needed)")
 	flag.Parse()
+
+	// -trace works offline on an exported file; no namenode connection.
+	if *trace != "" {
+		if err := renderTrace(*trace); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	net := transport.NewTCPNetwork(nil)
 	cl, err := client.New(client.Options{
@@ -95,6 +106,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// renderTrace reads span records exported by `smarth-live -trace` and
+// prints the per-pipeline timeline.
+func renderTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := obs.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no span records", path)
+	}
+	obs.RenderTimeline(os.Stdout, spans)
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,62 @@
+package smarth
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocs is the `make docs-check` gate: every package under
+// internal/ (and cmd/) must carry a package comment — the godoc that
+// ARCHITECTURE.md leans on for per-package invariants. A package
+// comment is a doc comment attached to a `package` clause in at least
+// one non-test file.
+func TestPackageDocs(t *testing.T) {
+	for _, root := range []string{"internal", "cmd"} {
+		err := filepath.WalkDir(root, func(dir string, d os.DirEntry, err error) error {
+			if err != nil || !d.IsDir() {
+				return err
+			}
+			if checkPackageDoc(t, dir) {
+				t.Logf("%s: ok", dir)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// checkPackageDoc reports whether dir holds a Go package, failing the
+// test if it does and no non-test file documents it.
+func checkPackageDoc(t *testing.T, dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	hasGo := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		hasGo = true
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Errorf("%s: %v", filepath.Join(dir, name), err)
+			continue
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	if hasGo {
+		t.Errorf("%s: package has no package comment (add a `// Package ...` doc comment; see ARCHITECTURE.md)", dir)
+	}
+	return false
+}

@@ -10,6 +10,16 @@
 // escape to an interface allocation on every Put). Steady state, a
 // pipeline's buffers cycle between a handful of pool entries sized to
 // the largest frame seen (~68 KB for a default packet).
+//
+// Ownership invariants: Get returns a buffer owned exclusively by the
+// caller until it calls Put — once, with the same pointer, after which
+// the buffer (and anything aliasing it, such as a proto.Packet's Data
+// and RawSums) must not be touched; the pool will hand it to another
+// goroutine and overwrite it. Ownership transfers with the pointer,
+// so whichever function ends up holding a pooled buffer carries the
+// Put duty (proto.Packet.Release is such a transferred Put). Get and
+// Put are safe for concurrent use from any goroutine; a buffer itself
+// is not synchronized — it belongs to exactly one owner at a time.
 package bufpool
 
 import "sync"

@@ -3,6 +3,26 @@
 // multi-pipeline writer (with Algorithm 2 local optimization and
 // Algorithm 4 fault tolerance), block reads, and the heartbeat that
 // reports observed transfer speeds to the namenode.
+//
+// Concurrency and ownership invariants:
+//
+//   - A Writer is single-caller: Write and Close must come from one
+//     goroutine (the usual io.Writer contract). All cross-goroutine
+//     state below is internal.
+//   - Each open pipeline owns two goroutines: streamBlock, the only
+//     writer on the data conn, and responderLoop, the only reader of
+//     acks on it. The responder owns the pipeline's trace span and the
+//     done channel — every exit path ends both exactly once.
+//   - The SMARTH writer launches at most MaxPipelines concurrent block
+//     goroutines; each owns its staging buffer (checked out of a
+//     writer-local free list) from launch until the block's acks drain
+//     or its recovery re-streams it. A failed block transfers its
+//     buffer, its open block span, and its launch time into the errored
+//     set, which Algorithm 4's drain owns exclusively.
+//   - The speed recorder and the namenode RPC conn are mutex-guarded
+//     and shared by all writers of the client; everything on the data
+//     path is pipeline-local and lock-free (see DESIGN.md §7 for the
+//     packet/ack ownership rules it relies on).
 package client
 
 import (
@@ -16,6 +36,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/nnapi"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -40,6 +61,10 @@ type Options struct {
 	// NoTimeouts() (or any zeroed fields) to restore the legacy
 	// block-forever behavior.
 	Timeouts *Timeouts
+	// Obs, when set, receives the client's metrics (packet RTT, FNFA
+	// latency, block commit time, RPC retries) and write-path trace
+	// spans. nil disables observability at negligible cost.
+	Obs *obs.Obs
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
 }
@@ -92,6 +117,18 @@ type Client struct {
 
 	recorder *core.Recorder
 
+	// Observability handles, cached at construction so hot paths never
+	// touch the registry. All are nil-safe: with Options.Obs unset every
+	// field is nil and each call site degrades to a no-op.
+	obs          *obs.Obs
+	connMetrics  *obs.ConnMetrics
+	mPacketRTT   *obs.Histogram // client→first-DN packet round trip
+	mFNFA        *obs.Histogram // block launch → FIRST NODE FINISH ACK
+	mBlockCommit *obs.Histogram // block launch → all acks drained
+	mRPC         *obs.Histogram // namenode RPC latency (client side)
+	mRecoveries  *obs.Counter   // Algorithm 3/4 recovery episodes
+	mRPCRetries  *obs.Counter   // namenode RPC attempts after the first
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -124,7 +161,18 @@ func New(opts Options) (*Client, error) {
 		timeouts: timeouts,
 		rng:      rand.New(rand.NewSource(seed)),
 		recorder: core.NewRecorder(),
+		obs:      opts.Obs,
 		stopCh:   make(chan struct{}),
+	}
+	if opts.Obs != nil {
+		comp := opts.Obs.Component("client/" + opts.Name)
+		c.connMetrics = obs.NewConnMetrics(comp)
+		c.mPacketRTT = comp.Histogram("packet_rtt_ns")
+		c.mFNFA = comp.Histogram("fnfa_latency_ns")
+		c.mBlockCommit = comp.Histogram("block_commit_ns")
+		c.mRPC = comp.Histogram("rpc_call_ns")
+		c.mRecoveries = comp.Counter("recoveries")
+		c.mRPCRetries = comp.Counter("rpc_retries")
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
@@ -229,6 +277,7 @@ func (c *Client) callNN(method string, arg, reply any) error {
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
+			c.mRPCRetries.Inc()
 			select {
 			case <-c.stopCh:
 				return lastErr
@@ -244,7 +293,14 @@ func (c *Client) callNN(method string, arg, reply any) error {
 			lastErr = err
 			continue
 		}
+		var callStart time.Time
+		if c.mRPC != nil {
+			callStart = c.clk.Now()
+		}
 		err = cl.CallTimeout(method, arg, reply, c.timeouts.RPCCall, c.clk)
+		if c.mRPC != nil {
+			c.mRPC.ObserveSince(callStart, c.clk.Now())
+		}
 		if err == nil {
 			return nil
 		}

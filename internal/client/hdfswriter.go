@@ -3,10 +3,12 @@ package client
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/block"
 	"repro/internal/nnapi"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -23,6 +25,9 @@ func (c *Client) CreateHDFS(path string, opts WriteOptions) (Writer, error) {
 		return nil, err
 	}
 	w := &hdfsWriter{c: c, path: path, opts: opts, opened: c.clk.Now()}
+	w.span = c.obs.StartSpan("write", nil)
+	w.span.SetAttr("path", path)
+	w.span.SetAttr("mode", "hdfs")
 	w.notePipelines(1)
 	return w, nil
 }
@@ -34,6 +39,7 @@ type hdfsWriter struct {
 	path   string
 	opts   WriteOptions
 	opened time.Time
+	span   *obs.Span // root "write" span; nil when tracing is off
 	buf    []byte
 	closed bool
 	err    error
@@ -72,6 +78,16 @@ func (w *hdfsWriter) Close() error {
 		return nil
 	}
 	w.closed = true
+	err := w.flushAndComplete()
+	if err != nil {
+		w.span.Fail(err)
+	}
+	w.span.End()
+	return err
+}
+
+// flushAndComplete pushes the tail block and completes the file.
+func (w *hdfsWriter) flushAndComplete() error {
 	if w.err != nil {
 		return w.err
 	}
@@ -98,18 +114,27 @@ func (w *hdfsWriter) flushBlock(data []byte) error {
 	w.lastBlock = resp.Located.Block
 	w.blockLaunched()
 	lb := resp.Located
-	if err := w.c.sendBlockSync(lb, data, w.opts); err != nil {
+	start := w.c.clk.Now()
+	span := w.c.obs.StartSpan("block", w.span)
+	span.SetAttr("block", fmt.Sprint(lb.Block))
+	defer span.End()
+	if err := w.c.sendBlockSync(lb, data, w.opts, span); err != nil {
 		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, nil)
-		return rerr
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, nil, span)
+		if rerr != nil {
+			span.Fail(rerr)
+			return rerr
+		}
 	}
+	w.c.mBlockCommit.ObserveSince(start, w.c.clk.Now())
 	return nil
 }
 
 // sendBlockSync opens a pipeline, streams the block, and waits for all
 // acks (the HDFS discipline; also used to resend recovered blocks).
-func (c *Client) sendBlockSync(lb block.LocatedBlock, data []byte, opts WriteOptions) error {
-	p, err := c.openPipeline(lb, opts.Mode, c.resolveTimeouts(opts))
+// parent is the enclosing trace span (block or recovery), if any.
+func (c *Client) sendBlockSync(lb block.LocatedBlock, data []byte, opts WriteOptions, parent *obs.Span) error {
+	p, err := c.openPipeline(lb, opts.Mode, c.resolveTimeouts(opts), parent)
 	if err != nil {
 		return err
 	}
@@ -127,7 +152,9 @@ func (c *Client) sendBlockSync(lb block.LocatedBlock, data []byte, opts WriteOpt
 // re-provision the pipeline under a new generation stamp, and re-stream
 // the whole block; repeat until the block lands or attempts run out.
 // extraExclude lists datanodes that must not be selected as replacements
-// (SMARTH's one-pipeline-per-datanode rule).
+// (SMARTH's one-pipeline-per-datanode rule). parent is the failed block's
+// trace span, under which the recovery episode (and its replacement
+// pipelines) is recorded.
 func (c *Client) recoverAndResendSync(
 	path string,
 	lb block.LocatedBlock,
@@ -135,7 +162,15 @@ func (c *Client) recoverAndResendSync(
 	cause error,
 	opts WriteOptions,
 	extraExclude []string,
+	parent *obs.Span,
 ) (block.LocatedBlock, error) {
+	c.mRecoveries.Inc()
+	span := c.obs.StartSpan("recovery", parent)
+	span.SetAttr("block", fmt.Sprint(lb.Block))
+	if cause != nil {
+		span.SetAttr("cause", cause.Error())
+	}
+	defer span.End()
 	failed := make(map[string]bool)
 	markFailed(cause, lb, failed)
 	for attempt := 0; attempt < maxRecoveryAttempts; attempt++ {
@@ -159,17 +194,22 @@ func (c *Client) recoverAndResendSync(
 			Mode:    opts.Mode,
 		})
 		if err != nil {
-			return lb, fmt.Errorf("client: recoverBlock %v: %w", lb.Block, err)
+			err = fmt.Errorf("client: recoverBlock %v: %w", lb.Block, err)
+			span.Fail(err)
+			return lb, err
 		}
 		lb = resp.Located
-		err = c.sendBlockSync(lb, data, opts)
+		span.Event("rebuilt", strings.Join(lb.Names(), ">"))
+		err = c.sendBlockSync(lb, data, opts, span)
 		if err == nil {
 			return lb, nil
 		}
 		c.opts.Logf("client %s: recovery attempt %d for %v failed: %v", c.opts.Name, attempt+1, lb.Block, err)
 		markFailed(err, lb, failed)
 	}
-	return lb, fmt.Errorf("client: block %v unrecoverable after %d attempts: %w", lb.Block, maxRecoveryAttempts, cause)
+	err := fmt.Errorf("client: block %v unrecoverable after %d attempts: %w", lb.Block, maxRecoveryAttempts, cause)
+	span.Fail(err)
+	return lb, err
 }
 
 // markFailed records the suspect datanode from a pipeline error. When the

@@ -3,12 +3,14 @@ package client
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/block"
 	"repro/internal/checksum"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/transport"
 )
@@ -45,6 +47,17 @@ type pipelineConn struct {
 	// fully acknowledged by every datanode, or the pipeline error.
 	done chan error
 
+	// span traces this pipeline (nil when tracing is off). After a
+	// successful open it is owned by the responder goroutine, which ends
+	// it when the pipeline resolves.
+	span *obs.Span
+	// rtt, when non-nil, receives client→first-DN packet round trips.
+	// sendNS stamps each packet's send time (nanoseconds on the client's
+	// clock), indexed by seqno; guarded by mu.
+	rtt    *obs.Histogram
+	clk    clock.Clock
+	sendNS []int64
+
 	mu        sync.Mutex
 	lastSeqno int64 // seqno of the final packet; -1 until known
 }
@@ -65,23 +78,65 @@ func (p *pipelineConn) signalFNFA() {
 	p.fnfaOnce.Do(func() { close(p.fnfa) })
 }
 
+// noteSend stamps packet seqno's send time for RTT attribution. No-op
+// unless the pipeline has an RTT histogram attached.
+func (p *pipelineConn) noteSend(seqno int64) {
+	if p.rtt == nil || seqno < 0 {
+		return
+	}
+	now := p.clk.Now().UnixNano()
+	p.mu.Lock()
+	for int64(len(p.sendNS)) <= seqno {
+		p.sendNS = append(p.sendNS, 0)
+	}
+	p.sendNS[seqno] = now
+	p.mu.Unlock()
+}
+
+// observeRTT records the round trip for an acked seqno, if its send time
+// was stamped.
+func (p *pipelineConn) observeRTT(seqno int64) {
+	if p.rtt == nil || seqno < 0 {
+		return
+	}
+	p.mu.Lock()
+	var sent int64
+	if seqno < int64(len(p.sendNS)) {
+		sent = p.sendNS[seqno]
+	}
+	p.mu.Unlock()
+	if sent > 0 {
+		p.rtt.Observe(p.clk.Now().UnixNano() - sent)
+	}
+}
+
 func (p *pipelineConn) close() { p.pc.Close() }
 
 // openPipeline dials the first datanode, performs pipeline setup, and
 // starts the responder goroutine. The timeouts bound the dial, the
 // setup ack, and (for the pipeline's lifetime) per-operation data-path
-// progress in both directions.
-func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Timeouts) (*pipelineConn, error) {
+// progress in both directions. parent, when tracing is on, becomes the
+// new pipeline span's parent (normally the block span); a setup failure
+// ends the span with an error status before returning.
+func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Timeouts, parent *obs.Span) (*pipelineConn, error) {
+	span := c.obs.StartSpan("pipeline", parent)
+	span.SetAttr("targets", strings.Join(lb.Names(), ">"))
+	fail := func(e *pipelineError) (*pipelineConn, error) {
+		span.Fail(e)
+		span.End()
+		return nil, e
+	}
 	if len(lb.Targets) == 0 {
-		return nil, &pipelineError{lb: lb, badIndex: -1, cause: errors.New("no targets")}
+		return fail(&pipelineError{lb: lb, badIndex: -1, cause: errors.New("no targets")})
 	}
 	conn, err := transport.DialTimeout(c.opts.Network, c.opts.Name, lb.Targets[0].Addr, to.Dial, c.clk)
 	if err != nil {
-		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+		return fail(&pipelineError{lb: lb, badIndex: 0, cause: err})
 	}
 	pc := proto.NewConn(conn)
 	pc.SetClock(c.clk)
 	pc.SetWriteTimeout(to.AckProgress)
+	pc.SetMetrics(c.connMetrics)
 	hdr := &proto.WriteBlockHeader{
 		Block:   lb.Block,
 		Targets: lb.Targets[1:],
@@ -91,23 +146,24 @@ func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Ti
 	}
 	if err := pc.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
 		pc.Close()
-		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+		return fail(&pipelineError{lb: lb, badIndex: 0, cause: err})
 	}
 	pc.SetReadTimeout(to.SetupAck)
 	setupAck, err := pc.ReadAck()
 	pc.SetReadTimeout(to.AckProgress)
 	if err != nil {
 		pc.Close()
-		return nil, &pipelineError{lb: lb, badIndex: 0, cause: err}
+		return fail(&pipelineError{lb: lb, badIndex: 0, cause: err})
 	}
 	if setupAck.Kind != proto.AckHeader {
 		pc.Close()
-		return nil, &pipelineError{lb: lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack during setup", setupAck.Kind)}
+		return fail(&pipelineError{lb: lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack during setup", setupAck.Kind)})
 	}
 	if bad := setupAck.FirstBadIndex(); bad >= 0 {
 		pc.Close()
-		return nil, &pipelineError{lb: lb, badIndex: bad, cause: errors.New("pipeline setup refused")}
+		return fail(&pipelineError{lb: lb, badIndex: bad, cause: errors.New("pipeline setup refused")})
 	}
+	span.Event("setup_ack", "")
 
 	p := &pipelineConn{
 		lb:        lb,
@@ -115,6 +171,9 @@ func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Ti
 		pc:        pc,
 		fnfa:      make(chan struct{}),
 		done:      make(chan error, 1),
+		span:      span,
+		rtt:       c.mPacketRTT,
+		clk:       c.clk,
 		lastSeqno: -1,
 	}
 	go c.responderLoop(p)
@@ -122,31 +181,42 @@ func (c *Client) openPipeline(lb block.LocatedBlock, mode proto.WriteMode, to Ti
 }
 
 // responderLoop is the client-side PacketResponder: it consumes acks from
-// the pipeline and resolves fnfa/done.
+// the pipeline and resolves fnfa/done. It owns p.span: the span ends
+// here, with an error status when the pipeline fails.
 func (c *Client) responderLoop(p *pipelineConn) {
+	finish := func(err error) {
+		if err != nil {
+			p.span.Fail(err)
+		}
+		p.span.End()
+		p.done <- err
+	}
 	for {
 		ack, err := p.pc.ReadAck()
 		if err != nil {
-			p.done <- &pipelineError{lb: p.lb, badIndex: -1, cause: err}
+			finish(&pipelineError{lb: p.lb, badIndex: -1, cause: err})
 			return
 		}
 		switch ack.Kind {
 		case proto.AckFNFA:
+			p.span.Event("fnfa", "")
 			p.signalFNFA()
 		case proto.AckData:
+			p.observeRTT(ack.Seqno)
+			p.span.Packet("ack", ack.Seqno)
 			if bad := ack.FirstBadIndex(); bad >= 0 {
-				p.done <- &pipelineError{lb: p.lb, badIndex: bad, cause: fmt.Errorf("packet %d failed: %v", ack.Seqno, ack.Statuses)}
+				finish(&pipelineError{lb: p.lb, badIndex: bad, cause: fmt.Errorf("packet %d failed: %v", ack.Seqno, ack.Statuses)})
 				return
 			}
 			if last := p.getLastSeqno(); last >= 0 && ack.Seqno == last {
 				// Every datanode stored every packet: the block is fully
 				// replicated, which upper-bounds the FNFA too.
 				p.signalFNFA()
-				p.done <- nil
+				finish(nil)
 				return
 			}
 		default:
-			p.done <- &pipelineError{lb: p.lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack", ack.Kind)}
+			finish(&pipelineError{lb: p.lb, badIndex: -1, cause: fmt.Errorf("unexpected %v ack", ack.Kind)})
 			return
 		}
 	}
@@ -192,6 +262,8 @@ func (c *Client) streamBlock(p *pipelineConn, data []byte, packetSize int) error
 		if err := p.pc.WritePacket(&pkt); err != nil {
 			return &pipelineError{lb: p.lb, badIndex: 0, cause: err}
 		}
+		p.noteSend(seqno)
+		p.span.Packet("send", seqno)
 		seqno++
 		if end == off { // empty block: single empty terminal packet sent
 			break

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/block"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -43,15 +44,22 @@ func (c *Client) CreateSmarth(path string, opts WriteOptions) (Writer, error) {
 		activeDNs:    make(map[string]bool),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	w.span = c.obs.StartSpan("write", nil)
+	w.span.SetAttr("path", path)
+	w.span.SetAttr("mode", "smarth")
 	return w, nil
 }
 
 // failedBlock is one entry of Algorithm 4's error pipeline set: the block
 // whose pipeline broke, the data to re-stream, and the observed error.
+// span is the block's still-open trace span; the recovery episode is
+// recorded under it and it ends when recovery resolves.
 type failedBlock struct {
-	lb   block.LocatedBlock
-	data []byte
-	err  error
+	lb    block.LocatedBlock
+	data  []byte
+	err   error
+	span  *obs.Span
+	start time.Time // block launch time, for block_commit_ns
 }
 
 // smarthWriter implements the asynchronous multi-pipeline write.
@@ -63,6 +71,7 @@ type smarthWriter struct {
 	to           Timeouts
 	maxPipelines int
 	opened       time.Time
+	span         *obs.Span // root "write" span; nil when tracing is off
 
 	buf    []byte
 	closed bool
@@ -151,6 +160,17 @@ func (w *smarthWriter) Close() error {
 		return nil
 	}
 	w.closed = true
+	err := w.drainAndComplete()
+	if err != nil {
+		w.span.Fail(err)
+	}
+	w.span.End()
+	return err
+}
+
+// drainAndComplete flushes the tail block, waits for every pipeline to
+// drain (recovering failures), and completes the file at the namenode.
+func (w *smarthWriter) drainAndComplete() error {
 	if w.werr != nil {
 		w.teardown()
 		return w.werr
@@ -254,20 +274,27 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 	if !w.opts.DisableLocalOpt {
 		w.localOptimize(&lb)
 	}
+	launched := w.c.clk.Now()
+	blockSpan := w.c.obs.StartSpan("block", w.span)
+	blockSpan.SetAttr("block", fmt.Sprint(lb.Block))
 
 	// recoverSync re-streams data synchronously; once it succeeds nothing
 	// references the staging buffer any more, so it goes back on the
-	// free list.
+	// free list. Either way the block span ends here.
 	recoverSync := func(cause error) error {
 		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, cause, w.opts, exclude)
+		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, cause, w.opts, exclude, blockSpan)
 		if rerr == nil {
 			w.putBlockBuf(data)
+			w.c.mBlockCommit.ObserveSince(launched, w.c.clk.Now())
+		} else {
+			blockSpan.Fail(rerr)
 		}
+		blockSpan.End()
 		return rerr
 	}
 
-	p, err := w.c.openPipeline(lb, proto.ModeSmarth, w.to)
+	p, err := w.c.openPipeline(lb, proto.ModeSmarth, w.to, blockSpan)
 	if err != nil {
 		// Pipeline never formed: recover synchronously.
 		return recoverSync(err)
@@ -286,6 +313,7 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		w.unregister(p)
 		return recoverSync(err)
 	}
+	w.c.mFNFA.ObserveSince(start, w.c.clk.Now())
 
 	// Record the client→first-datanode transfer speed (the measurement
 	// that powers Algorithms 1 and 2).
@@ -299,14 +327,18 @@ func (w *smarthWriter) launchBlock(data []byte) error {
 		p.close()
 		w.unregister(p)
 		if err != nil {
-			// The failed block keeps its staging buffer; drainErrors
-			// recycles it once recovery re-streams the data.
+			// The failed block keeps its staging buffer (and its open
+			// span); drainErrors recycles both once recovery re-streams
+			// the data.
+			blockSpan.Event("pipeline_failed", err.Error())
 			w.mu.Lock()
-			w.errored = append(w.errored, failedBlock{lb: lb, data: data, err: err})
+			w.errored = append(w.errored, failedBlock{lb: lb, data: data, err: err, span: blockSpan, start: launched})
 			w.cond.Broadcast()
 			w.mu.Unlock()
 		} else {
 			w.putBlockBuf(data)
+			w.c.mBlockCommit.ObserveSince(launched, w.c.clk.Now())
+			blockSpan.End()
 		}
 	}()
 	return nil
@@ -371,9 +403,14 @@ func (w *smarthWriter) drainErrors() error {
 
 		w.c.opts.Logf("client %s: recovering pipeline for %v: %v", w.c.opts.Name, fb.lb.Block, fb.err)
 		w.recovered()
-		if _, err := w.c.recoverAndResendSync(w.path, fb.lb, fb.data, fb.err, w.opts, exclude); err != nil {
-			return fmt.Errorf("client: multi-pipeline recovery: %w", err)
+		if _, err := w.c.recoverAndResendSync(w.path, fb.lb, fb.data, fb.err, w.opts, exclude, fb.span); err != nil {
+			err = fmt.Errorf("client: multi-pipeline recovery: %w", err)
+			fb.span.Fail(err)
+			fb.span.End()
+			return err
 		}
+		w.c.mBlockCommit.ObserveSince(fb.start, w.c.clk.Now())
+		fb.span.End()
 		w.putBlockBuf(fb.data)
 	}
 }

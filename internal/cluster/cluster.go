@@ -13,6 +13,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/datanode"
 	"repro/internal/namenode"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -52,6 +53,10 @@ type Config struct {
 	// Namenode.SaveImage) into the fresh namenode before any datanode
 	// registers — the restart path.
 	Image io.Reader
+	// Obs, when set, is shared by the namenode, every datanode, and every
+	// client created with NewClient: one registry and one tracer for the
+	// whole in-process cluster. nil disables observability.
+	Obs *obs.Obs
 	// Logf receives diagnostics from all components.
 	Logf func(format string, args ...any)
 }
@@ -110,7 +115,7 @@ func Start(cfg Config) (*Cluster, error) {
 		effNet = cfg.WrapNetwork(net)
 	}
 
-	nn := namenode.New(namenode.Options{Clock: cfg.Clock, Expiry: cfg.Expiry, Seed: cfg.Seed})
+	nn := namenode.New(namenode.Options{Clock: cfg.Clock, Expiry: cfg.Expiry, Seed: cfg.Seed, Obs: cfg.Obs})
 	if cfg.Image != nil {
 		if err := nn.LoadImage(cfg.Image); err != nil {
 			return nil, err
@@ -140,6 +145,7 @@ func Start(cfg Config) (*Cluster, error) {
 			Clock:             cfg.Clock,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			DataTimeout:       cfg.DatanodeDataTimeout,
+			Obs:               cfg.Obs,
 			Logf:              cfg.Logf,
 		})
 		if err != nil {
@@ -165,6 +171,7 @@ func (c *Cluster) NewClient(name string) (*client.Client, error) {
 		HeartbeatInterval: c.cfg.HeartbeatInterval,
 		Seed:              c.cfg.Seed + int64(len(c.clients)) + 1,
 		Timeouts:          c.cfg.ClientTimeouts,
+		Obs:               c.cfg.Obs,
 		Logf:              c.cfg.Logf,
 	})
 	if err != nil {

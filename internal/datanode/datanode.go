@@ -4,6 +4,28 @@
 // and heartbeats to the namenode. In SMARTH mode the first datanode of a
 // pipeline emits the FIRST NODE FINISH ACK as soon as a whole block is
 // locally stored, which is what lets the client overlap pipelines.
+//
+// Concurrency and ownership invariants:
+//
+//   - One goroutine per accepted connection runs the receive loop; a
+//     write pipeline with a mirror additionally owns one forwarder
+//     goroutine draining a bounded packetQueue. Nothing else touches
+//     that pipeline's conns.
+//   - A packet read from upstream is owned by the receive loop until it
+//     is pushed onto the forward queue, at which point the Release duty
+//     transfers to the forwarder (the queue releases whatever it
+//     discards on teardown). The receive loop snapshots any fields it
+//     needs (seqno, last, length) into locals before pushing.
+//   - Acks flow only upstream through a single ackSender per pipeline
+//     (used by setup, then handed to the responder goroutine), so the
+//     upstream conn never has two concurrent writers. On an interior
+//     node the responder merges downstream acks — conn-owned, valid
+//     until the next ReadAck — with local verdicts in seqno order.
+//   - The per-pipeline buffer rule (§IV-C): at most one block is staged
+//     between receive and mirror, and a datanode serves at most one
+//     active pipeline per client.
+//   - The store (internal/storage) is the only shared mutable state;
+//     it serializes replica state transitions internally.
 package datanode
 
 import (
@@ -16,6 +38,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/nnapi"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/storage"
@@ -44,6 +67,10 @@ type Options struct {
 	DataTimeout time.Duration
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// Obs, when set, receives the datanode's metrics: wire-level frame
+	// and byte counts, per-packet store latency, forward-queue depth,
+	// and commit/FNFA counters. nil disables observability.
+	Obs *obs.Obs
 }
 
 // DefaultDataTimeout is the per-operation data-path progress bound used
@@ -54,6 +81,20 @@ const DefaultDataTimeout = 60 * time.Second
 type Datanode struct {
 	opts Options
 	clk  clock.Clock
+
+	// Observability handles, cached at construction (all nil when
+	// Options.Obs is unset; every call site is nil-safe). connMetrics is
+	// shared by all of this datanode's framed conns — upstream, mirror,
+	// and read-path alike — so the counters aggregate per datanode.
+	connMetrics  *obs.ConnMetrics
+	mPacketsIn   *obs.Counter
+	mPacketsFwd  *obs.Counter
+	mAcksSent    *obs.Counter
+	mFNFASent    *obs.Counter
+	mCommitted   *obs.Counter
+	mBytesStored *obs.Counter
+	mStoreNS     *obs.Histogram // per-packet local store latency
+	mQueueDepth  *obs.Histogram // forward-queue depth in bytes, sampled per push
 
 	listener transport.Listener
 
@@ -88,7 +129,20 @@ func New(opts Options) (*Datanode, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	return &Datanode{opts: opts, clk: opts.Clock, stopCh: make(chan struct{})}, nil
+	dn := &Datanode{opts: opts, clk: opts.Clock, stopCh: make(chan struct{})}
+	if opts.Obs != nil {
+		comp := opts.Obs.Component("datanode/" + opts.Name)
+		dn.connMetrics = obs.NewConnMetrics(comp)
+		dn.mPacketsIn = comp.Counter("packets_in")
+		dn.mPacketsFwd = comp.Counter("packets_forwarded")
+		dn.mAcksSent = comp.Counter("acks_sent")
+		dn.mFNFASent = comp.Counter("fnfa_sent")
+		dn.mCommitted = comp.Counter("blocks_committed")
+		dn.mBytesStored = comp.Counter("bytes_stored")
+		dn.mStoreNS = comp.Histogram("packet_store_ns")
+		dn.mQueueDepth = comp.Histogram("queue_depth_bytes")
+	}
+	return dn, nil
 }
 
 // Name returns the datanode's logical name.
@@ -284,8 +338,10 @@ func (dn *Datanode) acceptLoop() {
 }
 
 // armConn applies the datanode's per-operation data-path deadlines to a
-// framed conn (no-op when DataTimeout is negative).
+// framed conn (no-op when DataTimeout is negative) and attaches the
+// datanode's shared frame-level metrics.
 func (dn *Datanode) armConn(pc *proto.Conn) {
+	pc.SetMetrics(dn.connMetrics)
 	if dn.opts.DataTimeout < 0 {
 		return
 	}

@@ -3,6 +3,7 @@ package datanode
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -21,6 +22,9 @@ type packetQueue struct {
 	capacity int64
 	closed   bool
 	broken   bool
+	// depth, when non-nil, samples the queued byte count after each
+	// push — the store-and-forward backlog a slow mirror builds up.
+	depth *obs.Histogram
 }
 
 func newPacketQueue(capacity int64) *packetQueue {
@@ -47,6 +51,7 @@ func (q *packetQueue) push(p *proto.Packet) bool {
 	}
 	q.items = append(q.items, p)
 	q.bytes += size
+	q.depth.Observe(q.bytes)
 	q.notEmpty.Signal()
 	return true
 }

@@ -2,21 +2,25 @@ package datanode
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/checksum"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
 // ackSender serializes ack writes to the upstream connection: the
 // responder goroutine and the FNFA emission on the receive path share it.
 type ackSender struct {
-	mu sync.Mutex
-	pc *proto.Conn
+	mu  sync.Mutex
+	pc  *proto.Conn
+	ctr *obs.Counter // acks sent upstream (nil-safe)
 }
 
 func (s *ackSender) send(a *proto.Ack) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.ctr.Inc()
 	return s.pc.WriteAck(a)
 }
 
@@ -38,7 +42,7 @@ type localStatus struct {
 // locally triggers the FNFA upstream immediately, regardless of how far
 // the mirrors have drained.
 func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
-	sender := &ackSender{pc: up}
+	sender := &ackSender{pc: up, ctr: dn.mAcksSent}
 
 	// --- pipeline setup: connect the mirror chain, then ack the header ---
 	var mirror *proto.Conn
@@ -75,6 +79,7 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 	// --- abort machinery shared by the three roles ---
 	done := make(chan struct{})
 	queue := newPacketQueue(dn.opts.ForwardBuffer)
+	queue.depth = dn.mQueueDepth
 	var abortOnce sync.Once
 	abort := func() {
 		abortOnce.Do(func() {
@@ -113,6 +118,7 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 					abort()
 					return
 				}
+				dn.mPacketsFwd.Inc()
 			}
 		}()
 	}
@@ -263,13 +269,24 @@ func (dn *Datanode) receiveLoop(
 		// it to the forward queue transfers ownership to the forwarder,
 		// which may WritePacket and Release it while we are still here.
 		seqno, last, nData := pkt.Seqno, pkt.Last, len(pkt.Data)
+		dn.mPacketsIn.Inc()
 		st := proto.StatusSuccess
 		if checksum.VerifyEncoded(pkt.Data, pkt.RawSums, checksum.DefaultChunkSize) != nil {
 			st = proto.StatusErrorChecksum
 		} else if nData > 0 {
+			// Time the local store only when the histogram exists: the
+			// two clock reads are not free on the per-packet path.
+			var t0 time.Time
+			if dn.mStoreNS != nil {
+				t0 = dn.clk.Now()
+			}
 			if _, werr := w.Write(pkt.Data); werr != nil {
 				st = proto.StatusError
 			}
+			if dn.mStoreNS != nil {
+				dn.mStoreNS.ObserveSince(t0, dn.clk.Now())
+			}
+			dn.mBytesStored.Add(int64(nData))
 		}
 		if st != proto.StatusSuccess {
 			// Surface the failure upstream, then tear the pipeline down;
@@ -303,10 +320,12 @@ func (dn *Datanode) receiveLoop(
 			}
 			finalized := hdr.Block
 			finalized.NumBytes = received
+			dn.mCommitted.Inc()
 			dn.reportBlockReceived(finalized)
 			if hdr.Depth == 0 && hdr.Mode == proto.ModeSmarth {
 				// FIRST NODE FINISH ACK: the whole block is stored here;
 				// the client may open its next pipeline now.
+				dn.mFNFASent.Inc()
 				_ = sender.send(&proto.Ack{Kind: proto.AckFNFA, Seqno: seqno, Statuses: []proto.Status{proto.StatusSuccess}})
 			}
 			return

@@ -8,6 +8,15 @@
 // peer starves naturally and its own deadlines fire exactly as they
 // would against a real wedged process. All randomness (delay jitter)
 // comes from a seeded generator, so runs are reproducible.
+//
+// Concurrency invariants: a Network is safe for concurrent use — fault
+// rules (Hang, Delay, Freeze, Thaw, ...) may be added or removed from
+// any goroutine, including while transfers are in flight on the links
+// they affect; changes take effect on the next operation that consults
+// the rule. A frozen endpoint blocks inside its own Read/Write/Dial
+// calls until thawed or the conn is closed from elsewhere; freezing
+// never closes conns itself, because the hung-process model requires
+// the peer's deadline — not an EOF — to be what ends the transfer.
 package faultnet
 
 import (

@@ -20,6 +20,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/client"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/workload"
 )
@@ -44,6 +45,44 @@ func PacketRoundTrip(b *testing.B) {
 		if err := c.WritePacket(&pkt); err != nil {
 			b.Fatal(err)
 		}
+		out, err := c.ReadPacket()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := checksum.VerifyEncoded(out.Data, out.RawSums, checksum.DefaultChunkSize); err != nil {
+			b.Fatal(err)
+		}
+		out.Release()
+	}
+}
+
+// PacketRoundTripObs is PacketRoundTrip with the observability layer
+// fully engaged: frame-level ConnMetrics attached to the conn and a live
+// span recording sampled packet events. The codec path must stay
+// allocation-free with instrumentation on — the counters are atomics and
+// the sampled event append amortizes to ~0.
+func PacketRoundTripObs(b *testing.B) {
+	o := obs.New(nil)
+	data := make([]byte, proto.DefaultPacketSize)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	var sums []uint32
+	var buf bytes.Buffer
+	c := proto.NewConn(&buf)
+	c.SetMetrics(obs.NewConnMetrics(o.Component("hotbench")))
+	span := o.StartSpan("pipeline", nil)
+	defer span.End()
+	b.SetBytes(proto.DefaultPacketSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sums = checksum.AppendSums(sums[:0], data, checksum.DefaultChunkSize)
+		pkt := proto.Packet{Seqno: int64(i), Sums: sums, Data: data}
+		if err := c.WritePacket(&pkt); err != nil {
+			b.Fatal(err)
+		}
+		span.Packet("send", int64(i))
 		out, err := c.ReadPacket()
 		if err != nil {
 			b.Fatal(err)
@@ -82,7 +121,15 @@ func AckRoundTrip(b *testing.B) {
 // network, 3-way replicated in 1 MB blocks of 64 KB packets (the
 // livebench scaling of the paper's 64 MB / 64 KB defaults).
 func LiveWrite(b *testing.B, mode proto.WriteMode, fileBytes int64) {
-	c, err := cluster.Start(cluster.Config{NumDatanodes: 9, Seed: 1})
+	LiveWriteObs(b, mode, fileBytes, nil)
+}
+
+// LiveWriteObs is LiveWrite with an observability layer shared by every
+// component (nil o reproduces the uninstrumented baseline). Comparing
+// its B/op against LiveWrite bounds the cost of always-on metrics and
+// tracing on the full stack.
+func LiveWriteObs(b *testing.B, mode proto.WriteMode, fileBytes int64, o *obs.Obs) {
+	c, err := cluster.Start(cluster.Config{NumDatanodes: 9, Seed: 1, Obs: o})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package hotbench
+
+const raceEnabled = false

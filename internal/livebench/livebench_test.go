@@ -30,6 +30,12 @@ func TestLiveThrottledSmarthWins(t *testing.T) {
 	if out.HDFS <= 0 || out.Smarth <= 0 || out.SmarthCold <= 0 {
 		t.Fatalf("missing measurements: %+v", out)
 	}
+	if raceEnabled {
+		// The race detector's scheduling overhead swings this wall-clock
+		// ratio by tens of points run to run; the transfer above still
+		// exercises the concurrent paths, which is what -race is for.
+		t.Skipf("skipping perf threshold under -race (improvement %.0f%%)", out.Improvement()*100)
+	}
 	if out.Improvement() < 0.10 {
 		t.Errorf("live warmed SMARTH improvement = %.0f%%, want >= 10%% under 100Mbps throttle", out.Improvement()*100)
 	}

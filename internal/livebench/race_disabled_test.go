@@ -1,0 +1,5 @@
+//go:build !race
+
+package livebench
+
+const raceEnabled = false

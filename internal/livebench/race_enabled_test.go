@@ -1,0 +1,7 @@
+//go:build race
+
+package livebench
+
+// raceEnabled reports that this binary was built with -race, under which
+// scheduling overhead distorts wall-clock performance thresholds.
+const raceEnabled = true

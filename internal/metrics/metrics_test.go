@@ -7,9 +7,9 @@ import (
 )
 
 func TestTableAlignment(t *testing.T) {
-	tb := NewTable("My Title", "name", "value")
-	tb.Add("short", "1")
-	tb.Add("a-much-longer-name", "22")
+	tb := NewTable("My Title", "name", "note")
+	tb.Add("short", "x")
+	tb.Add("a-much-longer-name", "yy")
 	out := tb.String()
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
 	if lines[0] != "My Title" {
@@ -28,6 +28,51 @@ func TestTableAlignment(t *testing.T) {
 	}
 	if !strings.Contains(out, "----") {
 		t.Fatal("separator row missing")
+	}
+}
+
+// Numeric columns right-align so "90.0s" and "1234.5s" keep their units
+// in the same place; the Figure 5–8 sweeps cross 1000s at paper scale.
+func TestTableNumericColumnsRightAlign(t *testing.T) {
+	tb := NewTable("", "x", "HDFS", "improvement")
+	tb.Add("1GB", "90.0s", "130%")
+	tb.Add("8GB", "1234.5s", "~131%")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Every line's HDFS column occupies the same span; values share a
+	// right edge, so the shorter one is padded on the left.
+	if want := "1GB    90.0s"; !strings.Contains(lines[2], want) {
+		t.Fatalf("short value not right-aligned: %q (want substring %q)", lines[2], want)
+	}
+	if want := "8GB  1234.5s"; !strings.Contains(lines[3], want) {
+		t.Fatalf("long value misaligned: %q (want substring %q)", lines[3], want)
+	}
+	// The "improvement" column is numeric too ("~" counts as a sign).
+	if !strings.HasSuffix(lines[2], " 130%") || !strings.HasSuffix(lines[3], "~131%") {
+		t.Fatalf("percentage column not right-aligned:\n%s", out)
+	}
+}
+
+// A row with more cells than the header row must widen the table, not
+// panic on a widths index out of range.
+func TestTableRowWiderThanHeaders(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("1", "2", "extra")
+	out := tb.String()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("extra cell dropped:\n%s", out)
+	}
+}
+
+// Rendered lines never carry trailing padding after the last cell.
+func TestTableNoTrailingSpaces(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.Add("a-long-first-cell", "x")
+	tb.Add("b", "y")
+	for i, ln := range strings.Split(tb.String(), "\n") {
+		if strings.TrimRight(ln, " ") != ln {
+			t.Fatalf("line %d has trailing spaces: %q", i, ln)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/nnapi"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -38,6 +39,9 @@ type Options struct {
 	// Seed drives placement randomness; a fixed seed makes tests and
 	// simulations reproducible. Zero means seed from the system clock.
 	Seed int64
+	// Obs, when set, receives metrics (RPC latency per method, placement
+	// decisions, block recoveries) under the "namenode" component.
+	Obs *obs.Obs
 }
 
 // Namenode is the metadata server. Create one with New, then Serve it on
@@ -62,6 +66,13 @@ type Namenode struct {
 	smarthPolicy  *smarthPlacement
 
 	server *rpc.Server
+
+	// Observability (nil-safe no-ops when Options.Obs is unset).
+	obsComp          *obs.Component
+	mPlaceSmarth     *obs.Counter
+	mPlaceDefault    *obs.Counter
+	mBlocksAllocated *obs.Counter
+	mBlockRecoveries *obs.Counter
 }
 
 // New constructs a namenode.
@@ -94,6 +105,11 @@ func New(opts Options) *Namenode {
 		defaultPolicy: dp,
 		smarthPolicy:  &smarthPlacement{dm: dm, registry: registry, rng: rng, fallback: dp},
 	}
+	nn.obsComp = opts.Obs.Component("namenode")
+	nn.mPlaceSmarth = nn.obsComp.Counter("placement_smarth")
+	nn.mPlaceDefault = nn.obsComp.Counter("placement_default")
+	nn.mBlocksAllocated = nn.obsComp.Counter("blocks_allocated")
+	nn.mBlockRecoveries = nn.obsComp.Counter("block_recoveries")
 	return nn
 }
 
@@ -121,6 +137,38 @@ func (nn *Namenode) Serve(l transport.Listener) {
 	rpc.Handle(s, nnapi.MethodDecommission, nn.Decommission)
 	rpc.Handle(s, nnapi.MethodDecommStatus, nn.DecommissionStatus)
 	rpc.Handle(s, nnapi.MethodBalance, nn.Balance)
+	if nn.obsComp != nil {
+		// One latency histogram and error counter per method, pre-built so
+		// the observer callback is a lock-free map read + atomic update.
+		type methodMetrics struct {
+			lat  *obs.Histogram
+			errs *obs.Counter
+		}
+		byMethod := make(map[string]methodMetrics)
+		for _, m := range []string{
+			nnapi.MethodCreate, nnapi.MethodAddBlock, nnapi.MethodAbandonBlock,
+			nnapi.MethodComplete, nnapi.MethodRecoverBlock, nnapi.MethodClientHeartbeat,
+			nnapi.MethodGetBlockLocations, nnapi.MethodGetFileInfo, nnapi.MethodClusterInfo,
+			nnapi.MethodDelete, nnapi.MethodRename, nnapi.MethodList,
+			nnapi.MethodRegister, nnapi.MethodHeartbeat, nnapi.MethodBlockReceived,
+			nnapi.MethodDecommission, nnapi.MethodDecommStatus, nnapi.MethodBalance,
+		} {
+			byMethod[m] = methodMetrics{
+				lat:  nn.obsComp.Histogram("rpc_" + m + "_ns"),
+				errs: nn.obsComp.Counter("rpc_" + m + "_errors"),
+			}
+		}
+		s.SetObserver(func(method string, d time.Duration, errored bool) {
+			mm, ok := byMethod[method]
+			if !ok {
+				return
+			}
+			mm.lat.Observe(d.Nanoseconds())
+			if errored {
+				mm.errs.Inc()
+			}
+		})
+	}
 	nn.mu.Lock()
 	nn.server = s
 	nn.mu.Unlock()
@@ -186,9 +234,15 @@ func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) 
 	if err != nil {
 		return nnapi.AddBlockResp{}, err
 	}
+	if req.Mode == proto.ModeSmarth {
+		nn.mPlaceSmarth.Inc()
+	} else {
+		nn.mPlaceDefault.Inc()
+	}
 	b, reused := nn.ns.reusableTail(f, req.Previous)
 	if !reused {
 		b = nn.ns.allocateBlock(f)
+		nn.mBlocksAllocated.Inc()
 	}
 	return nnapi.AddBlockResp{Located: block.LocatedBlock{Block: b, Targets: targets}}, nil
 }
@@ -240,6 +294,7 @@ func (nn *Namenode) RecoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockR
 	if err != nil {
 		return nnapi.RecoverBlockResp{}, err
 	}
+	nn.mBlockRecoveries.Inc()
 	for _, dn := range stale {
 		nn.dm.scheduleInvalidate(dn, req.Block.ID, req.Block.Gen)
 	}

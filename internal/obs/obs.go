@@ -1,0 +1,62 @@
+// Package obs is the write path's observability layer: lock-free
+// counters and bounded histograms registered per component, plus
+// structured span/event tracing for block writes, exported as JSONL and
+// renderable as a per-pipeline timeline.
+//
+// The package is designed for an always-on hot path. Everything a
+// packet loop touches is either an atomic counter (Counter.Add), an
+// atomic bounded histogram (Histogram.Observe; power-of-two buckets
+// indexed with bits.Len64, no locks, no allocation), or a sampled span
+// event (Span.Packet, recorded once every Tracer.PacketSampling
+// packets). Spans themselves are created only on cold paths — one per
+// file write, per block, per pipeline, per recovery episode.
+//
+// Every type is nil-safe: a nil *Obs, *Registry, *Component, *Counter,
+// *Histogram, *Tracer or *Span accepts the full method set and does
+// nothing, so instrumented code needs no "is observability on?"
+// branches. Components and metrics are registered once at setup time
+// (Registry.Component, Component.Counter/Histogram take a lock); hot
+// code caches the returned pointers and never touches the registry
+// again.
+//
+// Concurrency: Counter and Histogram are safe for concurrent use by any
+// number of goroutines. A Span's methods are safe to call concurrently
+// (events take the span's mutex), but span recording is designed so
+// that at most a couple of goroutines touch one span. The Tracer is
+// fully concurrent-safe.
+package obs
+
+import "repro/internal/clock"
+
+// Obs bundles a metrics registry and a tracer — the two halves of the
+// observability layer — so components take a single optional knob. A
+// nil *Obs disables everything at negligible cost.
+type Obs struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New returns an Obs with a fresh registry and a tracer stamping times
+// from clk (nil = system clock).
+func New(clk clock.Clock) *Obs {
+	return &Obs{Metrics: NewRegistry(), Tracer: NewTracer(clk)}
+}
+
+// Component returns the named metric component, creating it on first
+// use. Nil-safe: a nil Obs (or registry) returns a nil Component, whose
+// Counter/Histogram methods return nil no-op metrics.
+func (o *Obs) Component(name string) *Component {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics.Component(name)
+}
+
+// StartSpan starts a trace span (nil-safe; returns nil when tracing is
+// off, and a nil *Span accepts the full Span method set).
+func (o *Obs) StartSpan(name string, parent *Span) *Span {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.StartSpan(name, parent)
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// timeline layout constants.
+const (
+	barWidth  = 40
+	barFill   = '='
+	barOpen   = '>'
+	barGutter = '.'
+)
+
+// RenderTimeline writes a human-readable per-pipeline timeline of a
+// trace: every root span (normally one "write" span per file) with its
+// block spans, each block's pipeline and recovery spans as Gantt bars
+// on a shared time axis, and the spans' events. Spans still open at
+// export render with an arrow head instead of a closing edge.
+func RenderTimeline(w io.Writer, spans []SpanRecord) {
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "(empty trace)")
+		return
+	}
+	byID := make(map[int64]SpanRecord, len(spans))
+	children := make(map[int64][]SpanRecord, len(spans))
+	var roots []SpanRecord
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if _, ok := byID[s.Parent]; s.Parent != 0 && ok {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	for id := range children {
+		cs := children[id]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].StartUS < cs[j].StartUS })
+		children[id] = cs
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartUS < roots[j].StartUS })
+
+	// The axis spans the whole trace: min start to max end/event.
+	t0, t1 := spans[0].StartUS, spans[0].StartUS
+	for _, s := range spans {
+		if s.StartUS < t0 {
+			t0 = s.StartUS
+		}
+		if s.EndUS > t1 {
+			t1 = s.EndUS
+		}
+		for _, e := range s.Events {
+			if e.TUS > t1 {
+				t1 = e.TUS
+			}
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+
+	fmt.Fprintf(w, "trace: %d spans, %s total  (bar axis: 0 .. %s)\n",
+		len(spans), fmtUS(t1-t0), fmtUS(t1-t0))
+	for _, r := range roots {
+		renderSpan(w, r, children, t0, t1, 0)
+	}
+}
+
+func renderSpan(w io.Writer, s SpanRecord, children map[int64][]SpanRecord, t0, t1 int64, depth int) {
+	indent := strings.Repeat("  ", depth)
+	end := s.EndUS
+	open := end == 0
+	if open {
+		end = t1
+	}
+	dur := "open"
+	if !open {
+		dur = fmtUS(s.EndUS - s.StartUS)
+	}
+	status := ""
+	if s.Status != "" {
+		status = " [" + strings.ToUpper(s.Status) + "]"
+	}
+	fmt.Fprintf(w, "%s%-*s %s  +%s %s%s%s\n",
+		indent, 24-2*depth, s.Name+"#"+fmt.Sprint(s.ID),
+		bar(s.StartUS, end, t0, t1, open),
+		fmtUS(s.StartUS-t0), dur, attrString(s.Attrs), status)
+	for _, e := range s.Events {
+		seq := ""
+		if e.Seqno >= 0 {
+			seq = fmt.Sprintf(" seq=%d", e.Seqno)
+		}
+		detail := ""
+		if e.Detail != "" {
+			detail = ": " + e.Detail
+		}
+		fmt.Fprintf(w, "%s  · %-14s @%s%s%s\n", indent, e.Name, fmtUS(e.TUS-t0), seq, detail)
+	}
+	for _, c := range children[s.ID] {
+		renderSpan(w, c, children, t0, t1, depth+1)
+	}
+}
+
+// bar draws a fixed-width Gantt bar for [start, end] on the [t0, t1]
+// axis. Sub-cell spans still paint one cell so short pipelines stay
+// visible.
+func bar(start, end, t0, t1 int64, open bool) string {
+	cells := [barWidth]byte{}
+	for i := range cells {
+		cells[i] = barGutter
+	}
+	span := float64(t1 - t0)
+	lo := int(float64(start-t0) / span * barWidth)
+	hi := int(float64(end-t0) / span * barWidth)
+	if lo >= barWidth {
+		lo = barWidth - 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > barWidth {
+		hi = barWidth
+	}
+	for i := lo; i < hi; i++ {
+		cells[i] = barFill
+	}
+	if open {
+		cells[hi-1] = barOpen
+	}
+	return "|" + string(cells[:]) + "|"
+}
+
+func attrString(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return b.String()
+}
+
+// fmtUS renders a microsecond delta compactly.
+func fmtUS(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/checksum"
+	"repro/internal/obs"
 )
 
 // Allocation-regression bounds for the hot-path codecs. These run the
@@ -62,6 +63,55 @@ func TestReadPacketAllocs(t *testing.T) {
 	// fractional average for pool misses under GC pressure.
 	if avg > 0.5 {
 		t.Fatalf("ReadPacket allocates %.1f times per packet, want ~0", avg)
+	}
+}
+
+// TestPacketAllocsWithMetrics re-runs the packet codec bounds with
+// frame-level ConnMetrics attached: the observability counters are plain
+// atomics and must not cost a single allocation per packet.
+func TestPacketAllocsWithMetrics(t *testing.T) {
+	skipUnderRace(t)
+	m := obs.NewConnMetrics(obs.NewRegistry().Component("conn"))
+	data := make([]byte, DefaultPacketSize)
+	sums := checksum.Sum(data, DefaultChunkSize)
+
+	var out duplex
+	w := NewConn(&out)
+	w.SetMetrics(m)
+	pkt := &Packet{Sums: sums, Data: data}
+	avg := testing.AllocsPerRun(200, func() {
+		out.Reset()
+		if err := w.WritePacket(pkt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("WritePacket with metrics allocates %.1f times per packet, want 0", avg)
+	}
+
+	var frame bytes.Buffer
+	if err := NewConn(&frame).WritePacket(pkt); err != nil {
+		t.Fatal(err)
+	}
+	raw := frame.Bytes()
+	var in duplex
+	r := NewConn(&in)
+	r.SetMetrics(m)
+	avg = testing.AllocsPerRun(200, func() {
+		in.Write(raw)
+		p, err := r.ReadPacket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	})
+	if avg > 0.5 {
+		t.Fatalf("ReadPacket with metrics allocates %.1f times per packet, want ~0", avg)
+	}
+
+	if m.FramesOut.Load() == 0 || m.FramesIn.Load() == 0 || m.BytesIn.Load() == 0 || m.BytesOut.Load() == 0 {
+		t.Fatalf("conn metrics did not move: in %d/%dB out %d/%dB",
+			m.FramesIn.Load(), m.BytesIn.Load(), m.FramesOut.Load(), m.BytesOut.Load())
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"repro/internal/bufpool"
 	"repro/internal/checksum"
 	"repro/internal/clock"
+	"repro/internal/obs"
 )
 
 // packetPool recycles Packet structs between ReadPacket and Release.
@@ -49,6 +50,11 @@ type Conn struct {
 	// reading side, like r.
 	ack         Ack
 	ackStatuses []Status
+
+	// metrics, when set, receives frame-level counters (bytes and frames
+	// each way, flushes, corked frames). All increments are atomic and
+	// allocation-free, so metrics may stay attached on the hot path.
+	metrics *obs.ConnMetrics
 
 	mu       sync.Mutex
 	clk      clock.Clock
@@ -137,6 +143,12 @@ func (c *Conn) armWrite() {
 	}
 }
 
+// SetMetrics attaches frame-level counters to the conn (nil detaches).
+// Set it before the conn carries traffic; the counters themselves are
+// concurrency-safe, so one ConnMetrics may be shared by many conns to
+// aggregate per component (e.g. per datanode).
+func (c *Conn) SetMetrics(m *obs.ConnMetrics) { c.metrics = m }
+
 // Close closes the underlying stream if it is closable.
 func (c *Conn) Close() error {
 	if c.c != nil {
@@ -189,6 +201,15 @@ func (c *Conn) writeFrame(head, tail []byte, flush bool) error {
 			return err
 		}
 	}
+	if m := c.metrics; m != nil {
+		m.FramesOut.Inc()
+		m.BytesOut.Add(int64(4 + n))
+		if flush {
+			m.Flushes.Inc()
+		} else {
+			m.CorkedFrames.Inc()
+		}
+	}
 	if !flush {
 		return nil
 	}
@@ -211,6 +232,10 @@ func (c *Conn) readFrame() (*[]byte, error) {
 	if _, err := io.ReadFull(c.r, *fr); err != nil {
 		bufpool.Put(fr)
 		return nil, err
+	}
+	if m := c.metrics; m != nil {
+		m.FramesIn.Inc()
+		m.BytesIn.Add(int64(4 + n))
 	}
 	return fr, nil
 }

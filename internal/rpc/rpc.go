@@ -80,10 +80,17 @@ func readFrame(r io.Reader, v any) error {
 // Handler processes one request body and returns a response value.
 type Handler func(body []byte) (any, error)
 
+// Observer receives one callback per handled request with the method
+// name, the wall-clock handler duration, and whether the handler (or
+// dispatch) failed. Implementations must be concurrency-safe; they run
+// on the per-request handler goroutine.
+type Observer func(method string, d time.Duration, errored bool)
+
 // Server dispatches named methods.
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	observer Observer
 	listener transport.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
@@ -105,6 +112,14 @@ func (s *Server) RegisterFunc(method string, h Handler) {
 		panic("rpc: duplicate handler for " + method)
 	}
 	s.handlers[method] = h
+}
+
+// SetObserver installs fn to be notified of every handled request (RPC
+// latency attribution). Install it before Serve; nil disables.
+func (s *Server) SetObserver(fn Observer) {
+	s.mu.Lock()
+	s.observer = fn
+	s.mu.Unlock()
 }
 
 // Handle installs a typed handler: the request body decodes into Req and
@@ -165,10 +180,15 @@ func (s *Server) serveConn(conn transport.Conn) {
 		}
 		s.mu.RLock()
 		h := s.handlers[req.Method]
+		observer := s.observer
 		s.mu.RUnlock()
 		handlerWG.Add(1)
 		go func(req request) {
 			defer handlerWG.Done()
+			var start time.Time
+			if observer != nil {
+				start = time.Now()
+			}
 			resp := response{Seq: req.Seq}
 			if h == nil {
 				resp.Err = "rpc: unknown method " + req.Method
@@ -181,6 +201,9 @@ func (s *Server) serveConn(conn transport.Conn) {
 				} else {
 					resp.Body = body
 				}
+			}
+			if observer != nil {
+				observer(req.Method, time.Since(start), resp.Err != "")
 			}
 			writeMu.Lock()
 			defer writeMu.Unlock()

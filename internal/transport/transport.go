@@ -4,6 +4,18 @@
 // for tests and examples), and a TCP network for running a cluster across
 // real sockets. Both apply a LinkPolicy, the software analogue of the
 // paper's `tc` bandwidth throttling.
+//
+// Concurrency invariants: a Network (dial, listen, shaping, partition,
+// kill) is safe for concurrent use from any goroutine. A Conn follows
+// the net.Conn discipline the protocol layer depends on: at most one
+// goroutine in Read and one in Write at a time (the two directions are
+// independent), and Close may be called from any goroutine — including
+// concurrently with a blocked Read/Write, which it unblocks with an
+// error. Deadlines set via SetReadDeadline/SetWriteDeadline apply per
+// direction and may likewise be set from a watchdog goroutine. The
+// in-memory pipe allocates its ring buffer once per direction at
+// connection time and never re-allocates, which the hot path's
+// zero-allocation budget (DESIGN.md §7) counts on.
 package transport
 
 import (
