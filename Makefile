@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race docs-check bench-hotpath
+.PHONY: build test vet race docs-check bench-hotpath conformance
 
 build:
 	$(GO) build ./...
@@ -23,3 +23,8 @@ docs-check:
 # the pre-change baseline entry).
 bench-hotpath:
 	$(GO) run ./cmd/smarth-hotpath -out BENCH_hotpath.json
+
+# Differential live/sim conformance: replay the seeded scenarios through
+# both substrates and byte-compare the writesched decision logs.
+conformance:
+	$(GO) test ./internal/conformance/ -count=1 -race -v -run 'TestConformance|TestScenarioLogs'

@@ -21,6 +21,25 @@ import (
 	"repro/internal/sim"
 )
 
+// mustSimulate fails the benchmark on a simulation error.
+func mustSimulate(b *testing.B, cfg SimConfig) SimResult {
+	b.Helper()
+	r, err := Simulate(cfg)
+	if err != nil {
+		b.Fatalf("Simulate: %v", err)
+	}
+	return r
+}
+
+func mustRunMulti(b *testing.B, cfg SimConfig, clients int) sim.MultiResult {
+	b.Helper()
+	m, err := sim.RunMulti(cfg, clients)
+	if err != nil {
+		b.Fatalf("RunMulti: %v", err)
+	}
+	return m
+}
+
 // runExperiment executes one figure's sweep and reports the metrics of
 // its last (headline) point.
 func runExperiment(b *testing.B, id string, scale int64) {
@@ -100,7 +119,7 @@ func BenchmarkFigure13Heterogeneous(b *testing.B) { runExperiment(b, "figure13",
 func BenchmarkCostModelValidation(b *testing.B) {
 	var des SimResult
 	for i := 0; i < b.N; i++ {
-		des = Simulate(SimConfig{Preset: SmallCluster, FileSize: 8 * sim.GB, Mode: ModeHDFS})
+		des = mustSimulate(b, SimConfig{Preset: SmallCluster, FileSize: 8 * sim.GB, Mode: ModeHDFS})
 	}
 	p := sim.CostParams{
 		D: 8 * sim.GB, B: 64 << 20, P: 64 << 10,
@@ -120,11 +139,11 @@ func ablationPair(b *testing.B, base SimConfig, mutate func(*SimConfig)) {
 	for i := 0; i < b.N; i++ {
 		cfg := base
 		cfg.Mode = proto.ModeSmarth
-		on = Simulate(cfg)
+		on = mustSimulate(b, cfg)
 		cfg = base
 		cfg.Mode = proto.ModeSmarth
 		mutate(&cfg)
-		off = Simulate(cfg)
+		off = mustSimulate(b, cfg)
 	}
 	b.ReportMetric(on.Duration.Seconds(), "feature_on_s")
 	b.ReportMetric(off.Duration.Seconds(), "feature_off_s")
@@ -168,9 +187,9 @@ func BenchmarkFutureWorkMultiWriter(b *testing.B) {
 	var hdfs, smarthRes sim.MultiResult
 	for i := 0; i < b.N; i++ {
 		cfg := SimConfig{Preset: HeteroCluster, FileSize: 2 * sim.GB, Mode: ModeHDFS, Seed: 11}
-		hdfs = sim.RunMulti(cfg, 4)
+		hdfs = mustRunMulti(b, cfg, 4)
 		cfg.Mode = ModeSmarth
-		smarthRes = sim.RunMulti(cfg, 4)
+		smarthRes = mustRunMulti(b, cfg, 4)
 	}
 	b.ReportMetric(hdfs.Makespan.Seconds(), "hdfs_makespan_s")
 	b.ReportMetric(smarthRes.Makespan.Seconds(), "smarth_makespan_s")
@@ -185,7 +204,7 @@ func BenchmarkFutureWorkStorageTypes(b *testing.B) {
 		b.Run(fmt.Sprintf("disk%dMBps", int(disk)), func(b *testing.B) {
 			var r SimResult
 			for i := 0; i < b.N; i++ {
-				r = Simulate(SimConfig{
+				r = mustSimulate(b, SimConfig{
 					Preset: SmallCluster, FileSize: 4 * sim.GB,
 					Mode: ModeSmarth, DiskMBps: disk, Seed: 13,
 				})
@@ -203,9 +222,9 @@ func BenchmarkFutureWorkThreeRacks(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := SimConfig{Preset: SmallCluster, FileSize: 8 * sim.GB, NumRacks: 3, CrossRackMbps: 100, Seed: 14}
 		cfg.Mode = ModeHDFS
-		h = Simulate(cfg)
+		h = mustSimulate(b, cfg)
 		cfg.Mode = ModeSmarth
-		s = Simulate(cfg)
+		s = mustSimulate(b, cfg)
 	}
 	b.ReportMetric(h.Duration.Seconds(), "hdfs_s")
 	b.ReportMetric(s.Duration.Seconds(), "smarth_s")

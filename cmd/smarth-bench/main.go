@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/ec2"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/sim"
 )
@@ -27,11 +28,13 @@ import (
 // printTimeline visualizes pipeline overlap: a 1 GB (16-block) SMARTH
 // run on the throttled two-rack small cluster vs the same workload under
 // HDFS. The workload is fixed regardless of -scale so the chart always
-// shows enough pipelines to see the overlap.
-func printTimeline(int64) {
+// shows enough pipelines to see the overlap. When tracePath is set, the
+// SMARTH run's span records are exported as JSONL in the same format the
+// live client emits (re-render with `smarth-admin -trace <file>`).
+func printTimeline(tracePath string) error {
 	size := int64(1) << 30
 	for _, mode := range []proto.WriteMode{proto.ModeHDFS, proto.ModeSmarth} {
-		r := sim.Run(sim.Config{
+		r, err := sim.Run(sim.Config{
 			Preset:        ec2.SmallCluster,
 			FileSize:      size,
 			Mode:          mode,
@@ -39,10 +42,28 @@ func printTimeline(int64) {
 			Trace:         true,
 			Seed:          2,
 		})
+		if err != nil {
+			return err
+		}
 		fmt.Printf("\n%s, 1GB, small cluster, 50Mbps cross-rack (total %.1fs):\n", mode, r.Duration.Seconds())
 		fmt.Print(sim.RenderTimeline(r.Pipelines, 100))
+		if tracePath != "" && mode == proto.ModeSmarth {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteJSONL(f, r.Trace); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %d simulated span records to %s\n", len(r.Trace), tracePath)
+		}
 	}
 	fmt.Println()
+	return nil
 }
 
 func main() {
@@ -51,10 +72,14 @@ func main() {
 	out := flag.String("out", "", "also write a Markdown report to this file")
 	csvPath := flag.String("csv", "", "also write tidy per-point data (figure,x,protocol,seconds) for plotting")
 	timeline := flag.Bool("timeline", false, "also draw the pipeline-overlap timeline for a throttled SMARTH run")
+	traceOut := flag.String("trace", "", "with -timeline: export the simulated SMARTH run's spans as JSONL (render with smarth-admin -trace)")
 	flag.Parse()
 
-	if *timeline {
-		printTimeline(*scale)
+	if *timeline || *traceOut != "" {
+		if err := printTimeline(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "smarth-bench:", err)
+			os.Exit(1)
+		}
 	}
 
 	experiments := sim.Experiments()

@@ -73,9 +73,17 @@ func main() {
 			Seed:          int64(mbps),
 		}
 		cfg.Mode = proto.ModeHDFS
-		h := sim.Run(cfg)
+		h, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarth-live: sim:", err)
+			os.Exit(1)
+		}
 		cfg.Mode = proto.ModeSmarth
-		s := sim.Run(cfg)
+		s, err := sim.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smarth-live: sim:", err)
+			os.Exit(1)
+		}
 		simImp := sim.Improvement(h.Duration, s.Duration)
 
 		tb.Add(

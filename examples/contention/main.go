@@ -7,10 +7,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	smarth "repro"
 	"repro/internal/sim"
 )
+
+func simulate(cfg smarth.SimConfig) smarth.SimResult {
+	r, err := smarth.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	for _, id := range []string{"figure10", "figure11a", "figure12a"} {
@@ -29,23 +38,23 @@ func main() {
 		NodeLimitMbps: map[int]float64{0: 50, 1: 50},
 		Seed:          4,
 	}
-	full := smarth.Simulate(base)
+	full := simulate(base)
 
 	noGlobal := base
 	noGlobal.DisableGlobalOpt = true
-	ng := smarth.Simulate(noGlobal)
+	ng := simulate(noGlobal)
 
 	noLocal := base
 	noLocal.DisableLocalOpt = true
-	nl := smarth.Simulate(noLocal)
+	nl := simulate(noLocal)
 
 	onePipe := base
 	onePipe.MaxPipelines = 1
-	op := smarth.Simulate(onePipe)
+	op := simulate(onePipe)
 
 	hdfs := base
 	hdfs.Mode = smarth.ModeHDFS
-	h := smarth.Simulate(hdfs)
+	h := simulate(hdfs)
 
 	fmt.Printf("  HDFS baseline:            %7.1fs\n", h.Duration.Seconds())
 	fmt.Printf("  SMARTH full:              %7.1fs\n", full.Duration.Seconds())

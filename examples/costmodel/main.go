@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	smarth "repro"
@@ -14,6 +15,14 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/sim"
 )
+
+func simulate(cfg smarth.SimConfig) smarth.SimResult {
+	r, err := smarth.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	const (
@@ -54,9 +63,9 @@ func main() {
 			cfg.CrossRackMbps = mbps
 		}
 		cfg.Mode = smarth.ModeHDFS
-		sHDFS := smarth.Simulate(cfg)
+		sHDFS := simulate(cfg)
 		cfg.Mode = smarth.ModeSmarth
-		sSmarth := smarth.Simulate(cfg)
+		sSmarth := simulate(cfg)
 
 		tb.Add(
 			fmt.Sprintf("%.0fMbps", mbps),

@@ -7,10 +7,19 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	smarth "repro"
 	"repro/internal/sim"
 )
+
+func simulate(cfg smarth.SimConfig) smarth.SimResult {
+	r, err := smarth.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	fmt.Println(smarth.Table1())
@@ -27,7 +36,7 @@ func main() {
 	// Where did the first-datanode traffic go? The three small instances
 	// (dn1-dn3) should be nearly absent once speed records exist.
 	fmt.Println("\nSMARTH first-datanode usage across blocks (8GB run):")
-	r := smarth.Simulate(smarth.SimConfig{
+	r := simulate(smarth.SimConfig{
 		Preset:   smarth.HeteroCluster,
 		FileSize: 8 * sim.GB,
 		Mode:     smarth.ModeSmarth,

@@ -23,9 +23,15 @@ func main() {
 	fmt.Println("=== paper scale: 4 concurrent 2GB uploads, heterogeneous cluster ===")
 	cfg := smarth.SimConfig{Preset: smarth.HeteroCluster, FileSize: 2 << 30, Seed: 12}
 	cfg.Mode = smarth.ModeHDFS
-	h := sim.RunMulti(cfg, 4)
+	h, err := sim.RunMulti(cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg.Mode = smarth.ModeSmarth
-	s := sim.RunMulti(cfg, 4)
+	s, err := sim.RunMulti(cfg, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("HDFS   makespan %6.1fs (aggregate %5.1f MB/s)\n", h.Makespan.Seconds(), h.AggregateMBps())
 	fmt.Printf("SMARTH makespan %6.1fs (aggregate %5.1f MB/s)\n", s.Makespan.Seconds(), s.AggregateMBps())
 	fmt.Printf("improvement: %.0f%%\n", sim.Improvement(h.Makespan, s.Makespan)*100)

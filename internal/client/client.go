@@ -4,6 +4,11 @@
 // Algorithm 4 fault tolerance), block reads, and the heartbeat that
 // reports observed transfer speeds to the namenode.
 //
+// Both writers are one adapter (schedwriter.go) around the shared
+// write-scheduling engine in internal/writesched, which owns every
+// protocol decision; this package supplies the effects — namenode RPCs,
+// pipeline I/O, speed recording.
+//
 // Concurrency and ownership invariants:
 //
 //   - A Writer is single-caller: Write and Close must come from one
@@ -13,12 +18,12 @@
 //     writer on the data conn, and responderLoop, the only reader of
 //     acks on it. The responder owns the pipeline's trace span and the
 //     done channel — every exit path ends both exactly once.
-//   - The SMARTH writer launches at most MaxPipelines concurrent block
-//     goroutines; each owns its staging buffer (checked out of a
-//     writer-local free list) from launch until the block's acks drain
-//     or its recovery re-streams it. A failed block transfers its
-//     buffer, its open block span, and its launch time into the errored
-//     set, which Algorithm 4's drain owns exclusively.
+//   - Namenode RPCs for one write run on a single FIFO worker
+//     goroutine, preserving the engine's effect order on the wire.
+//   - A SMARTH block's staging buffer (checked out of a writer-local
+//     free list) is owned from launch until the block commits; HDFS
+//     streams straight from the producer's buffer (Ready-at-commit
+//     keeps it stable).
 //   - The speed recorder and the namenode RPC conn are mutex-guarded
 //     and shared by all writers of the client; everything on the data
 //     path is pipeline-local and lock-free (see DESIGN.md §7 for the
@@ -40,6 +45,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/transport"
+	"repro/internal/writesched"
 )
 
 // Options configure a Client.
@@ -90,6 +96,18 @@ type WriteOptions struct {
 	// Timeouts overrides the client-level Timeouts for this write only;
 	// nil inherits the client's setting.
 	Timeouts *Timeouts
+	// Seed fixes the write's Algorithm 2 swap randomness (0 = drawn from
+	// the client's rng). The conformance harness pins it so live and
+	// simulated runs make identical swap decisions.
+	Seed int64
+	// StrictRetire retires pipelines strictly in launch order (see
+	// writesched.Config.StrictRetire) — the conformance mode.
+	StrictRetire bool
+	// SchedLog, when set, receives the write's protocol decision log.
+	SchedLog *writesched.DecisionLog
+	// SpeedOverride replaces measured FNFA speed samples with scripted
+	// ones (conformance harness).
+	SpeedOverride writesched.SpeedFunc
 }
 
 func (o *WriteOptions) applyDefaults() {

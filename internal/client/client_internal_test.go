@@ -2,6 +2,7 @@ package client
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -20,39 +21,21 @@ func lb3() block.LocatedBlock {
 	}
 }
 
-func TestMarkFailedUsesBadIndex(t *testing.T) {
-	failed := map[string]bool{}
-	err := &pipelineError{lb: lb3(), badIndex: 1, cause: errors.New("checksum")}
-	markFailed(err, lb3(), failed)
-	if !failed["dn2"] || len(failed) != 1 {
-		t.Fatalf("failed = %v, want {dn2}", failed)
+// The suspect-marking heuristics (bad-index blame, first-unsuspected
+// sweep) moved into the engine with the rest of the recovery decisions;
+// see internal/writesched's engine tests. What stays here is the
+// pipelineError carrier the adapter translates into the engine's
+// PipelineFailure.
+func TestPipelineErrorBadIndexExtraction(t *testing.T) {
+	inner := &pipelineError{lb: lb3(), badIndex: 1, cause: errors.New("checksum")}
+	wrapped := fmt.Errorf("stream: %w", inner)
+	var pe *pipelineError
+	if !errors.As(wrapped, &pe) || pe.badIndex != 1 {
+		t.Fatalf("errors.As lost the bad index: %v", wrapped)
 	}
-}
-
-func TestMarkFailedUnknownSweeps(t *testing.T) {
-	failed := map[string]bool{}
-	cause := errors.New("connection reset")
-	// Unknown culprit: successive calls blame dn1, then dn2, then dn3.
-	for i, want := range []string{"dn1", "dn2", "dn3"} {
-		markFailed(cause, lb3(), failed)
-		if !failed[want] || len(failed) != i+1 {
-			t.Fatalf("after %d marks, failed = %v", i+1, failed)
-		}
-	}
-	// All blamed: further marks are a no-op rather than a panic.
-	markFailed(cause, lb3(), failed)
-	if len(failed) != 3 {
-		t.Fatalf("failed grew unexpectedly: %v", failed)
-	}
-}
-
-func TestMarkFailedOutOfRangeIndex(t *testing.T) {
-	failed := map[string]bool{}
-	err := &pipelineError{lb: lb3(), badIndex: 99, cause: errors.New("x")}
-	markFailed(err, lb3(), failed)
-	// Out-of-range index degrades to the sweep heuristic.
-	if !failed["dn1"] {
-		t.Fatalf("failed = %v, want sweep fallback to dn1", failed)
+	var none *pipelineError
+	if errors.As(errors.New("connection reset"), &none) {
+		t.Fatal("errors.As matched a plain error")
 	}
 }
 

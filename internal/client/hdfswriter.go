@@ -1,231 +1,23 @@
 package client
 
 import (
-	"errors"
-	"fmt"
-	"strings"
-	"time"
-
-	"repro/internal/block"
-	"repro/internal/nnapi"
-	"repro/internal/obs"
 	"repro/internal/proto"
 )
-
-// maxRecoveryAttempts bounds pipeline rebuilds per block.
-const maxRecoveryAttempts = 8
 
 // CreateHDFS opens a file for writing with the baseline HDFS protocol:
 // one pipeline at a time, and the client waits for every datanode's ack
 // for every packet of a block before asking for the next block.
+//
+// The stop-and-wait discipline is the shared writesched engine with the
+// pipeline cap pinned at 1 (the producer's Ready comes only at full
+// commit); see schedwriter.go for the live substrate.
 func (c *Client) CreateHDFS(path string, opts WriteOptions) (Writer, error) {
 	opts.applyDefaults()
 	opts.Mode = proto.ModeHDFS
 	if err := c.createFile(path, opts); err != nil {
 		return nil, err
 	}
-	w := &hdfsWriter{c: c, path: path, opts: opts, opened: c.clk.Now()}
-	w.span = c.obs.StartSpan("write", nil)
-	w.span.SetAttr("path", path)
-	w.span.SetAttr("mode", "hdfs")
+	w := c.newSchedWriter(path, opts, 1, false)
 	w.notePipelines(1)
 	return w, nil
-}
-
-// hdfsWriter implements the stop-and-wait write (Figure 3).
-type hdfsWriter struct {
-	statsTracker
-	c      *Client
-	path   string
-	opts   WriteOptions
-	opened time.Time
-	span   *obs.Span // root "write" span; nil when tracing is off
-	buf    []byte
-	closed bool
-	err    error
-	// lastBlock is the most recent block granted by addBlock, echoed back
-	// as Previous so retried allocations stay idempotent.
-	lastBlock block.Block
-}
-
-func (w *hdfsWriter) Write(p []byte) (int, error) {
-	if w.closed {
-		return 0, errors.New("client: write to closed file")
-	}
-	if w.err != nil {
-		return 0, w.err
-	}
-	w.buf = append(w.buf, p...)
-	w.addBytes(len(p))
-	for int64(len(w.buf)) >= w.opts.BlockSize {
-		bs := int(w.opts.BlockSize)
-		// flushBlock is synchronous (stop-and-wait), so the block can be
-		// streamed straight out of w.buf with no staging copy.
-		if err := w.flushBlock(w.buf[:bs]); err != nil {
-			w.err = err
-			return 0, err
-		}
-		// Compact rather than re-slice: the re-slice would pin every
-		// consumed block in the backing array for the file's lifetime.
-		rem := copy(w.buf, w.buf[bs:])
-		w.buf = w.buf[:rem]
-	}
-	return len(p), nil
-}
-
-func (w *hdfsWriter) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	err := w.flushAndComplete()
-	if err != nil {
-		w.span.Fail(err)
-	}
-	w.span.End()
-	return err
-}
-
-// flushAndComplete pushes the tail block and completes the file.
-func (w *hdfsWriter) flushAndComplete() error {
-	if w.err != nil {
-		return w.err
-	}
-	if len(w.buf) > 0 {
-		if err := w.flushBlock(w.buf); err != nil {
-			return err
-		}
-		w.buf = nil
-	}
-	if err := w.c.completeFile(w.path); err != nil {
-		return err
-	}
-	w.setDuration(w.c.clk.Now().Sub(w.opened))
-	return nil
-}
-
-// flushBlock writes one block through a fresh pipeline, recovering per
-// Algorithm 3 on failure.
-func (w *hdfsWriter) flushBlock(data []byte) error {
-	resp, err := w.c.addBlock(w.path, w.opts.Mode, nil, w.lastBlock)
-	if err != nil {
-		return err
-	}
-	w.lastBlock = resp.Located.Block
-	w.blockLaunched()
-	lb := resp.Located
-	start := w.c.clk.Now()
-	span := w.c.obs.StartSpan("block", w.span)
-	span.SetAttr("block", fmt.Sprint(lb.Block))
-	defer span.End()
-	if err := w.c.sendBlockSync(lb, data, w.opts, span); err != nil {
-		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, err, w.opts, nil, span)
-		if rerr != nil {
-			span.Fail(rerr)
-			return rerr
-		}
-	}
-	w.c.mBlockCommit.ObserveSince(start, w.c.clk.Now())
-	return nil
-}
-
-// sendBlockSync opens a pipeline, streams the block, and waits for all
-// acks (the HDFS discipline; also used to resend recovered blocks).
-// parent is the enclosing trace span (block or recovery), if any.
-func (c *Client) sendBlockSync(lb block.LocatedBlock, data []byte, opts WriteOptions, parent *obs.Span) error {
-	p, err := c.openPipeline(lb, opts.Mode, c.resolveTimeouts(opts), parent)
-	if err != nil {
-		return err
-	}
-	defer p.close()
-	if err := c.streamBlock(p, data, opts.PacketSize); err != nil {
-		// Unblock the responder (it is reading acks from a dead conn).
-		p.close()
-		<-p.done
-		return err
-	}
-	return p.waitDone()
-}
-
-// recoverAndResendSync is Algorithm 3: mark suspects, ask the namenode to
-// re-provision the pipeline under a new generation stamp, and re-stream
-// the whole block; repeat until the block lands or attempts run out.
-// extraExclude lists datanodes that must not be selected as replacements
-// (SMARTH's one-pipeline-per-datanode rule). parent is the failed block's
-// trace span, under which the recovery episode (and its replacement
-// pipelines) is recorded.
-func (c *Client) recoverAndResendSync(
-	path string,
-	lb block.LocatedBlock,
-	data []byte,
-	cause error,
-	opts WriteOptions,
-	extraExclude []string,
-	parent *obs.Span,
-) (block.LocatedBlock, error) {
-	c.mRecoveries.Inc()
-	span := c.obs.StartSpan("recovery", parent)
-	span.SetAttr("block", fmt.Sprint(lb.Block))
-	if cause != nil {
-		span.SetAttr("cause", cause.Error())
-	}
-	defer span.End()
-	failed := make(map[string]bool)
-	markFailed(cause, lb, failed)
-	for attempt := 0; attempt < maxRecoveryAttempts; attempt++ {
-		alive := make([]string, 0, len(lb.Targets))
-		for _, t := range lb.Targets {
-			if !failed[t.Name] {
-				alive = append(alive, t.Name)
-			}
-		}
-		exclude := make([]string, 0, len(failed)+len(extraExclude))
-		for n := range failed {
-			exclude = append(exclude, n)
-		}
-		exclude = append(exclude, extraExclude...)
-
-		resp, err := c.recoverBlock(nnapi.RecoverBlockReq{
-			Path:    path,
-			Block:   lb.Block,
-			Alive:   alive,
-			Exclude: exclude,
-			Mode:    opts.Mode,
-		})
-		if err != nil {
-			err = fmt.Errorf("client: recoverBlock %v: %w", lb.Block, err)
-			span.Fail(err)
-			return lb, err
-		}
-		lb = resp.Located
-		span.Event("rebuilt", strings.Join(lb.Names(), ">"))
-		err = c.sendBlockSync(lb, data, opts, span)
-		if err == nil {
-			return lb, nil
-		}
-		c.opts.Logf("client %s: recovery attempt %d for %v failed: %v", c.opts.Name, attempt+1, lb.Block, err)
-		markFailed(err, lb, failed)
-	}
-	err := fmt.Errorf("client: block %v unrecoverable after %d attempts: %w", lb.Block, maxRecoveryAttempts, cause)
-	span.Fail(err)
-	return lb, err
-}
-
-// markFailed records the suspect datanode from a pipeline error. When the
-// culprit is unknown (connection-level failure), it blames the first
-// not-yet-blamed target; successive attempts sweep through the pipeline,
-// so a persistently bad node is excluded within replication attempts.
-func markFailed(err error, lb block.LocatedBlock, failed map[string]bool) {
-	var pe *pipelineError
-	if errors.As(err, &pe) && pe.badIndex >= 0 && pe.badIndex < len(lb.Targets) {
-		failed[lb.Targets[pe.badIndex].Name] = true
-		return
-	}
-	for _, t := range lb.Targets {
-		if !failed[t.Name] {
-			failed[t.Name] = true
-			return
-		}
-	}
 }

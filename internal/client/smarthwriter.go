@@ -1,14 +1,7 @@
 package client
 
 import (
-	"errors"
-	"fmt"
-	"sync"
-	"time"
-
-	"repro/internal/block"
 	"repro/internal/core"
-	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -17,13 +10,16 @@ import (
 // first datanode and receiving the FNFA, the client immediately requests
 // the next block and opens a new pipeline while the previous pipelines
 // keep draining acks in the background.
+//
+// The schedule itself — pipeline cap, one-pipeline-per-datanode exclude
+// sets, Algorithm 2, Algorithm 3/4 recovery — is run by the shared
+// writesched engine; see schedwriter.go for the live substrate.
 func (c *Client) CreateSmarth(path string, opts WriteOptions) (Writer, error) {
 	opts.applyDefaults()
 	opts.Mode = proto.ModeSmarth
 	if err := c.createFile(path, opts); err != nil {
 		return nil, err
 	}
-
 	maxPipelines := opts.MaxPipelines
 	if maxPipelines <= 0 {
 		info, err := c.clusterInfo()
@@ -32,385 +28,7 @@ func (c *Client) CreateSmarth(path string, opts WriteOptions) (Writer, error) {
 		}
 		maxPipelines = core.MaxPipelines(info.ActiveDatanodes, opts.Replication)
 	}
-
-	w := &smarthWriter{
-		c:            c,
-		path:         path,
-		opts:         opts,
-		to:           c.resolveTimeouts(opts),
-		maxPipelines: maxPipelines,
-		opened:       c.clk.Now(),
-		active:       make(map[*pipelineConn]bool),
-		activeDNs:    make(map[string]bool),
-	}
-	w.cond = sync.NewCond(&w.mu)
-	w.span = c.obs.StartSpan("write", nil)
-	w.span.SetAttr("path", path)
-	w.span.SetAttr("mode", "smarth")
-	return w, nil
-}
-
-// failedBlock is one entry of Algorithm 4's error pipeline set: the block
-// whose pipeline broke, the data to re-stream, and the observed error.
-// span is the block's still-open trace span; the recovery episode is
-// recorded under it and it ends when recovery resolves.
-type failedBlock struct {
-	lb    block.LocatedBlock
-	data  []byte
-	err   error
-	span  *obs.Span
-	start time.Time // block launch time, for block_commit_ns
-}
-
-// smarthWriter implements the asynchronous multi-pipeline write.
-type smarthWriter struct {
-	statsTracker
-	c            *Client
-	path         string
-	opts         WriteOptions
-	to           Timeouts
-	maxPipelines int
-	opened       time.Time
-	span         *obs.Span // root "write" span; nil when tracing is off
-
-	buf    []byte
-	closed bool
-	werr   error
-	// lastBlock is the most recent block granted by addBlock, echoed back
-	// as Previous so retried allocations stay idempotent. Only the
-	// Write/Close goroutine launches blocks, so no lock is needed.
-	lastBlock block.Block
-
-	mu   sync.Mutex
-	cond *sync.Cond
-	// active holds pipelines whose acks are still draining.
-	active map[*pipelineConn]bool
-	// activeDNs enforces the one-pipeline-per-datanode rule (§IV-C).
-	activeDNs map[string]bool
-	// errored is Algorithm 4's error pipeline set.
-	errored []failedBlock
-	// free recycles block-sized staging buffers between pipelines: a
-	// buffer is checked out per launched block and returned when that
-	// block's acks drain (or its recovery completes). Bounded by the
-	// pipeline cap, so steady state stages maxPipelines+1 buffers total
-	// instead of allocating BlockSize per block.
-	free [][]byte
-}
-
-// getBlockBuf returns a BlockSize-capacity staging buffer, reusing a
-// drained pipeline's buffer when one is free.
-func (w *smarthWriter) getBlockBuf() []byte {
-	w.mu.Lock()
-	if n := len(w.free); n > 0 {
-		b := w.free[n-1]
-		w.free = w.free[:n-1]
-		w.mu.Unlock()
-		return b
-	}
-	w.mu.Unlock()
-	return make([]byte, w.opts.BlockSize)
-}
-
-// putBlockBuf returns a staging buffer to the free list. Callers must
-// hold no reference afterwards; buffers still owned by a failed block's
-// recovery entry are simply not returned.
-func (w *smarthWriter) putBlockBuf(b []byte) {
-	if int64(cap(b)) < w.opts.BlockSize {
-		return
-	}
-	b = b[:cap(b)]
-	w.mu.Lock()
-	if len(w.free) <= w.maxPipelines {
-		w.free = append(w.free, b)
-	}
-	w.mu.Unlock()
-}
-
-func (w *smarthWriter) Write(p []byte) (int, error) {
-	if w.closed {
-		return 0, errors.New("client: write to closed file")
-	}
-	if w.werr != nil {
-		return 0, w.werr
-	}
-	w.buf = append(w.buf, p...)
-	w.addBytes(len(p))
-	for int64(len(w.buf)) >= w.opts.BlockSize {
-		bs := int(w.opts.BlockSize)
-		// Stage the block in a recycled buffer: launchBlock returns at
-		// the FNFA, while the pipeline keeps reading blockData until its
-		// acks drain, so the staging copy must outlive this loop.
-		blockData := w.getBlockBuf()[:bs]
-		copy(blockData, w.buf[:bs])
-		if err := w.launchBlock(blockData); err != nil {
-			w.werr = err
-			return 0, err
-		}
-		// Compact rather than re-slice: w.buf = w.buf[bs:] would keep
-		// the consumed prefix live (the slice still pins the whole
-		// backing array) and grow a fresh array on every block.
-		rem := copy(w.buf, w.buf[bs:])
-		w.buf = w.buf[:rem]
-	}
-	return len(p), nil
-}
-
-func (w *smarthWriter) Close() error {
-	if w.closed {
-		return nil
-	}
-	w.closed = true
-	err := w.drainAndComplete()
-	if err != nil {
-		w.span.Fail(err)
-	}
-	w.span.End()
-	return err
-}
-
-// drainAndComplete flushes the tail block, waits for every pipeline to
-// drain (recovering failures), and completes the file at the namenode.
-func (w *smarthWriter) drainAndComplete() error {
-	if w.werr != nil {
-		w.teardown()
-		return w.werr
-	}
-	if len(w.buf) > 0 {
-		data := w.getBlockBuf()[:len(w.buf)]
-		copy(data, w.buf)
-		w.buf = nil
-		if err := w.launchBlock(data); err != nil {
-			w.werr = err
-			w.teardown()
-			return err
-		}
-	}
-	// Step 5/6: wait for the pipeline set to empty, recovering any
-	// pipelines that failed along the way, then complete the file.
-	for {
-		w.mu.Lock()
-		for len(w.active) > 0 && len(w.errored) == 0 {
-			w.cond.Wait()
-		}
-		drained := len(w.active) == 0 && len(w.errored) == 0
-		w.mu.Unlock()
-		if drained {
-			break
-		}
-		if err := w.drainErrors(); err != nil {
-			w.werr = err
-			w.teardown()
-			return err
-		}
-	}
-	if err := w.c.completeFile(w.path); err != nil {
-		w.werr = err
-		w.teardown()
-		return err
-	}
-	w.setDuration(w.c.clk.Now().Sub(w.opened))
-	return nil
-}
-
-// Stats snapshots progress, including the live pipeline count.
-func (w *smarthWriter) Stats() WriteStats {
-	st := w.statsTracker.Stats()
-	w.mu.Lock()
-	st.ActivePipelines = len(w.active)
-	w.mu.Unlock()
-	return st
-}
-
-// teardown closes and unregisters every still-active pipeline so no
-// responder goroutine or connection outlives a failed Close. Safe to
-// call with pipelines concurrently retiring themselves: unregister is
-// idempotent.
-func (w *smarthWriter) teardown() {
-	w.mu.Lock()
-	ps := make([]*pipelineConn, 0, len(w.active))
-	for p := range w.active {
-		ps = append(ps, p)
-	}
-	w.mu.Unlock()
-	for _, p := range ps {
-		p.close()
-		w.unregister(p)
-	}
-}
-
-// launchBlock sends one block through a fresh pipeline and returns once
-// the FNFA arrives; ack draining continues in the background.
-func (w *smarthWriter) launchBlock(data []byte) error {
-	// Algorithm 4: recover broken pipelines before sending more data.
-	if err := w.drainErrors(); err != nil {
-		return err
-	}
-
-	// Respect the concurrent-pipeline cap.
-	w.mu.Lock()
-	for len(w.active) >= w.maxPipelines && len(w.errored) == 0 {
-		w.cond.Wait()
-	}
-	exclude := make([]string, 0, len(w.activeDNs))
-	for dn := range w.activeDNs {
-		exclude = append(exclude, dn)
-	}
-	hasErrors := len(w.errored) > 0
-	w.mu.Unlock()
-	if hasErrors {
-		if err := w.drainErrors(); err != nil {
-			return err
-		}
-		return w.launchBlock(data)
-	}
-
-	resp, err := w.c.addBlock(w.path, proto.ModeSmarth, exclude, w.lastBlock)
-	if err != nil {
-		return err
-	}
-	w.lastBlock = resp.Located.Block
-	w.blockLaunched()
-	lb := resp.Located
-	if !w.opts.DisableLocalOpt {
-		w.localOptimize(&lb)
-	}
-	launched := w.c.clk.Now()
-	blockSpan := w.c.obs.StartSpan("block", w.span)
-	blockSpan.SetAttr("block", fmt.Sprint(lb.Block))
-
-	// recoverSync re-streams data synchronously; once it succeeds nothing
-	// references the staging buffer any more, so it goes back on the
-	// free list. Either way the block span ends here.
-	recoverSync := func(cause error) error {
-		w.recovered()
-		_, rerr := w.c.recoverAndResendSync(w.path, lb, data, cause, w.opts, exclude, blockSpan)
-		if rerr == nil {
-			w.putBlockBuf(data)
-			w.c.mBlockCommit.ObserveSince(launched, w.c.clk.Now())
-		} else {
-			blockSpan.Fail(rerr)
-		}
-		blockSpan.End()
-		return rerr
-	}
-
-	p, err := w.c.openPipeline(lb, proto.ModeSmarth, w.to, blockSpan)
-	if err != nil {
-		// Pipeline never formed: recover synchronously.
-		return recoverSync(err)
-	}
-	w.register(p)
-
-	start := w.c.clk.Now()
-	if err := w.c.streamBlock(p, data, w.opts.PacketSize); err != nil {
-		p.close()
-		<-p.done
-		w.unregister(p)
-		return recoverSync(err)
-	}
-	if err := p.waitFNFA(w.c.clk, w.to.FNFA); err != nil {
-		p.close()
-		w.unregister(p)
-		return recoverSync(err)
-	}
-	w.c.mFNFA.ObserveSince(start, w.c.clk.Now())
-
-	// Record the client→first-datanode transfer speed (the measurement
-	// that powers Algorithms 1 and 2).
-	w.c.recorder.Record(lb.Targets[0].Name, int64(len(data)), w.c.clk.Now().Sub(start))
-	w.c.SendHeartbeat()
-
-	// PacketResponder continues in the background; when all acks arrive
-	// the pipeline leaves the active set (step 4→5 of Figure 2).
-	go func() {
-		err := p.waitDone()
-		p.close()
-		w.unregister(p)
-		if err != nil {
-			// The failed block keeps its staging buffer (and its open
-			// span); drainErrors recycles both once recovery re-streams
-			// the data.
-			blockSpan.Event("pipeline_failed", err.Error())
-			w.mu.Lock()
-			w.errored = append(w.errored, failedBlock{lb: lb, data: data, err: err, span: blockSpan, start: launched})
-			w.cond.Broadcast()
-			w.mu.Unlock()
-		} else {
-			w.putBlockBuf(data)
-			w.c.mBlockCommit.ObserveSince(launched, w.c.clk.Now())
-			blockSpan.End()
-		}
-	}()
-	return nil
-}
-
-// localOptimize applies Algorithm 2 to the pipeline's target order using
-// the client's own speed table.
-func (w *smarthWriter) localOptimize(lb *block.LocatedBlock) {
-	names := lb.Names()
-	byName := make(map[string]block.DatanodeInfo, len(lb.Targets))
-	for _, t := range lb.Targets {
-		byName[t.Name] = t
-	}
-	w.c.mu.Lock()
-	core.LocalOptimize(names, w.c.recorder.Speed, w.c.rng)
-	w.c.mu.Unlock()
-	for i, n := range names {
-		lb.Targets[i] = byName[n]
-	}
-}
-
-func (w *smarthWriter) register(p *pipelineConn) {
-	w.mu.Lock()
-	w.active[p] = true
-	for _, t := range p.lb.Targets {
-		w.activeDNs[t.Name] = true
-	}
-	active := len(w.active)
-	w.mu.Unlock()
-	w.notePipelines(active)
-}
-
-func (w *smarthWriter) unregister(p *pipelineConn) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if !w.active[p] {
-		return
-	}
-	delete(w.active, p)
-	for _, t := range p.lb.Targets {
-		delete(w.activeDNs, t.Name)
-	}
-	w.cond.Broadcast()
-}
-
-// drainErrors empties Algorithm 4's error pipeline set, re-streaming each
-// interrupted block synchronously.
-func (w *smarthWriter) drainErrors() error {
-	for {
-		w.mu.Lock()
-		if len(w.errored) == 0 {
-			w.mu.Unlock()
-			return nil
-		}
-		fb := w.errored[0]
-		w.errored = w.errored[1:]
-		exclude := make([]string, 0, len(w.activeDNs))
-		for dn := range w.activeDNs {
-			exclude = append(exclude, dn)
-		}
-		w.mu.Unlock()
-
-		w.c.opts.Logf("client %s: recovering pipeline for %v: %v", w.c.opts.Name, fb.lb.Block, fb.err)
-		w.recovered()
-		if _, err := w.c.recoverAndResendSync(w.path, fb.lb, fb.data, fb.err, w.opts, exclude, fb.span); err != nil {
-			err = fmt.Errorf("client: multi-pipeline recovery: %w", err)
-			fb.span.Fail(err)
-			fb.span.End()
-			return err
-		}
-		w.c.mBlockCommit.ObserveSince(fb.start, w.c.clk.Now())
-		fb.span.End()
-		w.putBlockBuf(fb.data)
-	}
+	// SMARTH heartbeats at every FNFA so fresh measurements reach the
+	// namenode before the next placement decision.
+	return c.newSchedWriter(path, opts, maxPipelines, true), nil
 }

@@ -38,12 +38,20 @@ type Experiment struct {
 	Run func(scale int64) []Point
 }
 
-// runPair measures both protocols on one workload.
+// runPair measures both protocols on one workload. The figure configs
+// are fixed and known-good, so a simulation error here is a harness bug
+// and panics.
 func runPair(label string, cfg Config) Point {
 	cfg.Mode = proto.ModeHDFS
-	h := Run(cfg)
+	h, err := Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %s (HDFS): %v", label, err))
+	}
 	cfg.Mode = proto.ModeSmarth
-	s := Run(cfg)
+	s, err := Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("sim: %s (SMARTH): %v", label, err))
+	}
 	return Point{Label: label, HDFS: h, Smarth: s}
 }
 

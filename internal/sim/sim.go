@@ -7,12 +7,20 @@
 // tractable. Beyond the paper's single-uploader experiments, the
 // simulator also supports several concurrent clients (RunMulti), the
 // MapReduce-output scenario the paper lists as future work.
+//
+// The protocol control plane (block chaining, pipeline-launch caps,
+// FNFA reactions, recovery) is not implemented here: each simulated
+// writer is a writesched.Substrate adapter over the shared scheduling
+// engine, the same engine the live client drives. This file only models
+// the transport: namenode RPC latency, packet production, per-hop
+// delivery, and disk service times.
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
-	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/block"
@@ -22,12 +30,24 @@ import (
 	"repro/internal/namenode"
 	"repro/internal/netsim"
 	"repro/internal/nnapi"
+	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/writesched"
 )
 
 // ClientName is the simulated client's identity (client k in a
 // multi-client run is "client<k+1>").
 const ClientName = "client"
+
+// PipelineFault injects a mid-write pipeline failure: block Block's
+// initial pipeline dies after AfterPackets packets have left the
+// client, and the failure report blames pipeline position BadIndex
+// (-1 = unknown, triggering the engine's first-unsuspected sweep).
+type PipelineFault struct {
+	Block        int
+	AfterPackets int
+	BadIndex     int
+}
 
 // Config describes one simulated upload experiment.
 type Config struct {
@@ -80,9 +100,24 @@ type Config struct {
 	MaxPipelines     int  // override the activeDatanodes/replication cap
 	DisableGlobalOpt bool // suppress speed reports: Algorithm 1 never engages
 
-	// Trace records per-pipeline spans into Result.Pipelines (see
-	// RenderTimeline).
+	// Trace records obs spans into Result.Trace (and the derived
+	// Result.Pipelines; see RenderTimeline).
 	Trace bool
+
+	// Conformance knobs: ProtocolHeartbeats reports speeds at every
+	// FNFA (the live client's cadence) instead of on the timer,
+	// StrictRetire retires pipelines strictly in launch order, and
+	// SpeedOverride replaces measured FNFA samples with scripted ones.
+	// DecisionLog receives the engine's protocol decision log
+	// (single-client runs; with several clients the logs interleave).
+	ProtocolHeartbeats bool
+	StrictRetire       bool
+	SpeedOverride      writesched.SpeedFunc
+	DecisionLog        *writesched.DecisionLog
+
+	// PipelineFaults injects pipeline failures (each fires once, on the
+	// block's initial pipeline only, so recovery can succeed).
+	PipelineFaults []PipelineFault
 }
 
 func (c *Config) applyDefaults() {
@@ -129,7 +164,11 @@ type Result struct {
 	// FirstDatanodeUse counts how often each datanode served as a
 	// pipeline's first node (placement diagnostics).
 	FirstDatanodeUse map[string]int
-	// Pipelines holds per-block spans when Config.Trace is set.
+	// Trace holds the obs spans recorded when Config.Trace is set — the
+	// same JSONL-exportable format the live client emits, so
+	// `smarth-admin -trace` renders simulated timelines too.
+	Trace []obs.SpanRecord
+	// Pipelines holds per-block spans derived from Trace.
 	Pipelines []PipelineSpan
 	// EgressBytes and IngressBytes count payload bytes through each
 	// node's NIC transmit/receive servers (single-client runs only; in
@@ -200,7 +239,9 @@ type simulation struct {
 	left    int // writers still running
 }
 
-// writer is one simulated uploading client.
+// writer is one simulated uploading client: a writesched.Substrate whose
+// effects are DES events. The scheduling engine decides what happens;
+// the writer decides how long it takes.
 type writer struct {
 	s    *simulation
 	name string
@@ -209,20 +250,23 @@ type writer struct {
 	node       *netsim.Node
 	production *netsim.Server // client CPU producing packets (T_c)
 	recorder   *core.Recorder
-	rng        *rand.Rand
+	eng        *writesched.Engine
 
-	numBlocks   int
-	nextBlock   int
+	numBlocks int
+	nextOffer int // next block index to hand the engine
+
 	activePipes int
 	peakPipes   int
-	activeDNs   map[string]bool
-	streaming   bool
-	maxPipes    int
-	completed   int
 	firstUse    map[string]int
+	startAt     map[int]time.Duration
+	faultFired  map[int]bool
 	endTime     time.Duration
 	done        bool
-	spans       []PipelineSpan
+	err         error
+
+	tracer     *obs.Tracer
+	root       *obs.Span
+	blockSpans map[int]*obs.Span
 }
 
 // rackFor assigns the paper's 5+4 two-rack split (clients share rack A),
@@ -248,7 +292,7 @@ func (s *simulation) clientRack() string {
 	return "/rack-a"
 }
 
-func newSimulation(cfg Config, numClients int) *simulation {
+func newSimulation(cfg Config, numClients int) (*simulation, error) {
 	cfg.applyDefaults()
 	eng := des.New()
 	s := &simulation{
@@ -280,7 +324,7 @@ func newSimulation(cfg Config, numClients int) *simulation {
 		s.nw.Add(node)
 		s.dnNodes = append(s.dnNodes, node)
 		if _, err := s.nn.Register(nnapi.RegisterReq{Name: name, Addr: name, Rack: node.Rack}); err != nil {
-			panic(err) // registration of a fresh namenode cannot fail
+			return nil, fmt.Errorf("sim: register %s: %w", name, err)
 		}
 	}
 
@@ -310,16 +354,28 @@ func newSimulation(cfg Config, numClients int) *simulation {
 			node:       node,
 			production: netsim.NewServer(eng, name+"/cpu", cfg.ProductionMBps*1e6),
 			recorder:   core.NewRecorder(),
-			rng:        rand.New(rand.NewSource(cfg.Seed + int64(k)*7919)),
-			activeDNs:  make(map[string]bool),
 			firstUse:   make(map[string]int),
-			maxPipes:   maxPipes,
+			startAt:    make(map[int]time.Duration),
+			faultFired: make(map[int]bool),
+			blockSpans: make(map[int]*obs.Span),
 			numBlocks:  numBlocks,
 		}
+		w.eng = writesched.New(writesched.Config{
+			Path:               w.path,
+			Mode:               cfg.Mode,
+			Replication:        cfg.Replication,
+			MaxPipelines:       maxPipes,
+			DisableLocalOpt:    cfg.DisableLocalOpt,
+			ProtocolHeartbeats: cfg.ProtocolHeartbeats,
+			StrictRetire:       cfg.StrictRetire,
+			Seed:               cfg.Seed + int64(k)*7919,
+			SpeedOverride:      cfg.SpeedOverride,
+			Log:                cfg.DecisionLog,
+		}, w)
 		s.writers = append(s.writers, w)
 	}
 	s.left = numClients
-	return s
+	return s, nil
 }
 
 // blockBytes returns the size of block i.
@@ -333,21 +389,41 @@ func (w *writer) blockBytes(i int) int64 {
 }
 
 // Run simulates one upload and returns the result.
-func Run(cfg Config) Result {
-	return RunMulti(cfg, 1).PerClient[0]
+func Run(cfg Config) (Result, error) {
+	m, err := RunMulti(cfg, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.PerClient[0], nil
 }
 
 // RunMulti simulates numClients concurrent uploads (each of
 // cfg.FileSize) and returns per-client results plus the makespan.
-func RunMulti(cfg Config, numClients int) MultiResult {
+// Namenode RPC failures and injected faults that exhaust recovery
+// surface as errors, not panics.
+func RunMulti(cfg Config, numClients int) (MultiResult, error) {
 	if numClients < 1 {
 		numClients = 1
 	}
-	s := newSimulation(cfg, numClients)
+	s, err := newSimulation(cfg, numClients)
+	if err != nil {
+		return MultiResult{}, err
+	}
 	for _, w := range s.writers {
-		w.start()
+		if err := w.start(); err != nil {
+			return MultiResult{}, err
+		}
 	}
 	s.eng.Run()
+
+	for _, w := range s.writers {
+		if w.err != nil {
+			return MultiResult{}, fmt.Errorf("sim: client %s: %w", w.name, w.err)
+		}
+		if !w.done {
+			return MultiResult{}, fmt.Errorf("sim: client %s stalled (event graph drained before completion)", w.name)
+		}
+	}
 
 	egress := make(map[string]int64)
 	ingress := make(map[string]int64)
@@ -362,13 +438,15 @@ func RunMulti(cfg Config, numClients int) MultiResult {
 
 	out := MultiResult{TotalBytes: int64(numClients) * s.cfg.FileSize}
 	for _, w := range s.writers {
+		trace := w.tracer.Snapshot()
 		out.PerClient = append(out.PerClient, Result{
 			Duration:         w.endTime,
 			Bytes:            s.cfg.FileSize,
 			Blocks:           w.numBlocks,
 			PeakPipelines:    w.peakPipes,
 			FirstDatanodeUse: w.firstUse,
-			Pipelines:        w.spans,
+			Trace:            trace,
+			Pipelines:        spansFromTrace(trace),
 			EgressBytes:      egress,
 			IngressBytes:     ingress,
 		})
@@ -376,21 +454,58 @@ func RunMulti(cfg Config, numClients int) MultiResult {
 			out.Makespan = w.endTime
 		}
 	}
+	return out, nil
+}
+
+// spansFromTrace derives the legacy PipelineSpan view from block spans
+// (microsecond precision, the trace's export granularity).
+func spansFromTrace(recs []obs.SpanRecord) []PipelineSpan {
+	var out []PipelineSpan
+	for _, r := range recs {
+		if r.Name != "block" {
+			continue
+		}
+		idx, _ := strconv.Atoi(r.Attrs["idx"])
+		sp := PipelineSpan{
+			Block:   idx,
+			FirstDN: r.Attrs["first"],
+			Start:   time.Duration(r.StartUS) * time.Microsecond,
+			Done:    time.Duration(r.EndUS) * time.Microsecond,
+		}
+		sp.FNFA = sp.Done
+		for _, e := range r.Events {
+			if e.Name == "fnfa" {
+				sp.FNFA = time.Duration(e.TUS) * time.Microsecond
+				break
+			}
+		}
+		out = append(out, sp)
+	}
 	return out
 }
 
-// start creates the writer's file and kicks off its protocol.
-func (w *writer) start() {
+// start creates the writer's file and hands the first block to the
+// scheduling engine.
+func (w *writer) start() error {
 	s := w.s
 	if _, err := s.nn.Create(nnapi.CreateReq{
 		Path: w.path, Client: w.name,
 		Replication: s.cfg.Replication, BlockSize: s.cfg.BlockSize,
 	}); err != nil {
-		panic(err)
+		return fmt.Errorf("sim: create %s: %w", w.path, err)
 	}
 
-	// Heartbeats carry the client's speed table to the namenode.
-	if !s.cfg.DisableGlobalOpt {
+	if s.cfg.Trace {
+		w.tracer = obs.NewTracer(engClock{s.eng})
+		w.root = w.tracer.StartSpan("write", nil)
+		w.root.SetAttr("path", w.path)
+		w.root.SetAttr("mode", s.cfg.Mode.String())
+		w.root.SetAttr("client", w.name)
+	}
+
+	// Timer heartbeats carry the client's speed table to the namenode
+	// (the engine sends them at FNFA instead under ProtocolHeartbeats).
+	if !s.cfg.DisableGlobalOpt && !s.cfg.ProtocolHeartbeats {
 		var tick func()
 		tick = func() {
 			if w.done {
@@ -407,54 +522,101 @@ func (w *writer) start() {
 		s.eng.Schedule(s.cfg.HeartbeatInterval, tick)
 	}
 
-	if s.cfg.Mode == proto.ModeSmarth {
-		w.trySmarthLaunch()
-	} else {
-		w.startHDFSBlock(0)
+	w.offerNext()
+	return nil
+}
+
+// offerNext hands the engine the next block, or closes the file when
+// every block has been offered.
+func (w *writer) offerNext() {
+	if w.nextOffer < w.numBlocks {
+		i := w.nextOffer
+		w.nextOffer++
+		w.eng.Offer(w.blockBytes(i))
+		return
+	}
+	w.eng.CloseFile()
+}
+
+// --- writesched.Substrate (every effect is a DES event) ---
+
+// AddBlock performs the namenode RPC after T_n.
+func (w *writer) AddBlock(idx int, exclude []string, prev block.Block) {
+	s := w.s
+	s.eng.Schedule(s.cfg.NNLatency, func() {
+		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{
+			Path: w.path, Client: w.name, Mode: s.cfg.Mode,
+			Exclude: exclude, Previous: prev,
+		})
+		if err != nil && errors.Is(err, namenode.ErrNoDatanodes) {
+			err = fmt.Errorf("%w: %v", writesched.ErrNoTargets, err)
+		}
+		w.eng.HandleAddBlock(idx, resp.Located, err)
+	})
+}
+
+// RecoverBlock performs the recovery RPC after T_n.
+func (w *writer) RecoverBlock(idx, attempt int, blk block.Block, alive, exclude []string) {
+	s := w.s
+	s.eng.Schedule(s.cfg.NNLatency, func() {
+		resp, err := s.nn.RecoverBlock(nnapi.RecoverBlockReq{
+			Path: w.path, Client: w.name, Block: blk,
+			Alive: alive, Exclude: exclude, Mode: s.cfg.Mode,
+		})
+		w.eng.HandleRecovered(idx, resp.Located, err)
+	})
+}
+
+// Complete charges the final complete() RPC's latency. The simulated
+// datanodes never report blockReceived, so the real namenode Complete
+// would spin; the performance model only needs T_n.
+func (w *writer) Complete() {
+	s := w.s
+	s.eng.Schedule(s.cfg.NNLatency, func() { w.eng.HandleCompleteDone(nil) })
+}
+
+// Heartbeat ships the speed table inline (ProtocolHeartbeats mode).
+func (w *writer) Heartbeat() {
+	if w.s.cfg.DisableGlobalOpt || w.recorder.Len() == 0 {
+		return
+	}
+	_, _ = w.s.nn.ClientHeartbeat(nnapi.ClientHeartbeatReq{
+		Client: w.name,
+		Speeds: w.recorder.Snapshot(),
+	})
+}
+
+func (w *writer) RecordSpeed(dn string, bytes int64, elapsed time.Duration) {
+	w.recorder.Record(dn, bytes, elapsed)
+}
+
+func (w *writer) SpeedOf(dn string) float64 { return w.recorder.Speed(dn) }
+
+// Ready un-gates the producer: offer the next block (or close).
+func (w *writer) Ready(int) { w.offerNext() }
+
+func (w *writer) BlockCommitted(idx int) {
+	w.trackPipes(-1)
+	if sp := w.blockSpans[idx]; sp != nil {
+		sp.End()
 	}
 }
 
-func (w *writer) finishFile() {
+func (w *writer) FileDone(err error) {
 	s := w.s
 	w.done = true
-	// The final complete() RPC.
-	w.endTime = s.eng.Now() + s.cfg.NNLatency
+	w.err = err
+	w.endTime = s.eng.Now()
+	if w.root != nil {
+		if err != nil {
+			w.root.Fail(err)
+		}
+		w.root.End()
+	}
 	s.left--
 	if s.left == 0 {
 		s.eng.Stop()
 	}
-}
-
-// --- HDFS stop-and-wait ---
-
-func (w *writer) startHDFSBlock(i int) {
-	s := w.s
-	s.eng.Schedule(s.cfg.NNLatency, func() {
-		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{Path: w.path, Client: w.name, Mode: proto.ModeHDFS})
-		if err != nil {
-			panic(err)
-		}
-		targets := resp.Located.Targets
-		w.firstUse[targets[0].Name]++
-		w.trackPipes(1)
-		start := s.eng.Now()
-		w.launchPipeline(i, targets, nil, func() {
-			w.trackPipes(-1)
-			w.completed++
-			if s.cfg.Trace {
-				now := s.eng.Now()
-				w.spans = append(w.spans, PipelineSpan{
-					Block: i, FirstDN: targets[0].Name,
-					Start: start, FNFA: now, Done: now,
-				})
-			}
-			if i+1 < w.numBlocks {
-				w.startHDFSBlock(i + 1)
-			} else {
-				w.finishFile()
-			}
-		})
-	})
 }
 
 func (w *writer) trackPipes(delta int) {
@@ -464,82 +626,48 @@ func (w *writer) trackPipes(delta int) {
 	}
 }
 
-// --- SMARTH multi-pipeline ---
-
-func (w *writer) trySmarthLaunch() {
+// StartPipeline streams block idx through lb's pipeline at packet
+// granularity.
+func (w *writer) StartPipeline(idx int, lb block.LocatedBlock, restream bool) {
 	s := w.s
-	if w.done || w.streaming || w.nextBlock >= w.numBlocks || w.activePipes >= w.maxPipes {
-		return
-	}
-	i := w.nextBlock
-	w.nextBlock++
-	w.streaming = true
-	s.eng.Schedule(s.cfg.NNLatency, func() {
-		exclude := make([]string, 0, len(w.activeDNs))
-		for dn := range w.activeDNs {
-			exclude = append(exclude, dn)
-		}
-		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{
-			Path: w.path, Client: w.name, Mode: proto.ModeSmarth, Exclude: exclude,
-		})
-		if err != nil {
-			panic(err)
-		}
-		targets := resp.Located.Targets
-		if !s.cfg.DisableLocalOpt {
-			w.localOptimize(targets)
-		}
+	targets := lb.Targets
+	if !restream {
 		w.firstUse[targets[0].Name]++
-		for _, t := range targets {
-			w.activeDNs[t.Name] = true
-		}
 		w.trackPipes(1)
-
-		start := s.eng.Now()
-		blockSize := w.blockBytes(i)
-		var fnfaAt time.Duration
-		w.launchPipeline(i, targets,
-			func() { // FNFA
-				fnfaAt = s.eng.Now()
-				w.recorder.Record(targets[0].Name, blockSize, fnfaAt-start)
-				w.streaming = false
-				w.trySmarthLaunch()
-			},
-			func() { // all acks received: pipeline leaves the active set
-				w.trackPipes(-1)
-				for _, t := range targets {
-					delete(w.activeDNs, t.Name)
-				}
-				w.completed++
-				if s.cfg.Trace {
-					if fnfaAt == 0 {
-						fnfaAt = s.eng.Now()
-					}
-					w.spans = append(w.spans, PipelineSpan{
-						Block: i, FirstDN: targets[0].Name,
-						Start: start, FNFA: fnfaAt, Done: s.eng.Now(),
-					})
-				}
-				if w.completed == w.numBlocks {
-					w.finishFile()
-					return
-				}
-				w.trySmarthLaunch()
-			})
-	})
-}
-
-func (w *writer) localOptimize(targets []block.DatanodeInfo) {
-	names := make([]string, len(targets))
-	byName := make(map[string]block.DatanodeInfo, len(targets))
-	for i, t := range targets {
-		names[i] = t.Name
-		byName[t.Name] = t
+		w.startAt[idx] = s.eng.Now()
+		if w.tracer != nil {
+			sp := w.tracer.StartSpan("block", w.root)
+			sp.SetAttr("idx", strconv.Itoa(idx))
+			sp.SetAttr("first", targets[0].Name)
+			w.blockSpans[idx] = sp
+		}
+	} else if sp := w.blockSpans[idx]; sp != nil {
+		sp.SetAttr("first", targets[0].Name)
+		sp.Event("restream", targets[0].Name)
 	}
-	core.LocalOptimize(names, w.recorder.Speed, w.rng)
-	for i, n := range names {
-		targets[i] = byName[n]
+
+	var fault *PipelineFault
+	if !restream && !w.faultFired[idx] {
+		for i := range s.cfg.PipelineFaults {
+			if s.cfg.PipelineFaults[i].Block == idx {
+				fault = &s.cfg.PipelineFaults[i]
+				break
+			}
+		}
 	}
+
+	var onFNFA func()
+	if s.cfg.Mode == proto.ModeSmarth && !restream {
+		start := w.startAt[idx]
+		first := targets[0].Name
+		onFNFA = func() {
+			if sp := w.blockSpans[idx]; sp != nil {
+				sp.Event("fnfa", first)
+			}
+			w.eng.HandleFNFA(idx, s.eng.Now()-start)
+		}
+	}
+	w.launchPipeline(idx, targets, fault, onFNFA, func() { w.eng.HandleDrained(idx) })
 }
 
 // --- the shared packet-level pipeline model ---
@@ -547,8 +675,9 @@ func (w *writer) localOptimize(targets []block.DatanodeInfo) {
 // launchPipeline streams block i through the target pipeline. onFNFA
 // (may be nil) fires when the first datanode has stored the whole block;
 // onAllAcked fires when the last packet's ack returns from the whole
-// pipeline.
-func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onAllAcked func()) {
+// pipeline. A non-nil fault truncates production after fault.AfterPackets
+// packets and reports the failure to the engine instead.
+func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, fault *PipelineFault, onFNFA, onAllAcked func()) {
 	s := w.s
 	total := w.blockBytes(i)
 	numPackets := int((total + s.cfg.PacketSize - 1) / s.cfg.PacketSize)
@@ -563,18 +692,31 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onA
 		}
 	}
 
+	// aborted silences every in-flight event of this launch once a fault
+	// fires, so a stale ack can never masquerade as a drain.
+	aborted := false
 	acked := 0
 	var arriveAtDN func(j, k int, pktBytes int64)
 	arriveAtDN = func(j, k int, pktBytes int64) {
+		if aborted {
+			return
+		}
 		node := nodes[j]
 		node.Disk.Enqueue(pktBytes, func() {
+			if aborted {
+				return
+			}
 			// Stored locally; mirror to the next hop.
 			if j+1 < len(nodes) {
 				s.nw.Deliver(node, nodes[j+1], pktBytes, func() { arriveAtDN(j+1, k, pktBytes) })
 			}
 			if j == 0 && k == numPackets-1 && onFNFA != nil {
 				// FNFA: one hop of latency back to the client.
-				s.eng.Schedule(s.cfg.HopLatency, onFNFA)
+				s.eng.Schedule(s.cfg.HopLatency, func() {
+					if !aborted {
+						onFNFA()
+					}
+				})
 			}
 			if j == len(nodes)-1 {
 				// The combined ack travels the pipeline in reverse; the
@@ -582,6 +724,9 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onA
 				// latency is charged.
 				ackDelay := time.Duration(len(nodes)) * s.cfg.HopLatency
 				s.eng.Schedule(ackDelay, func() {
+					if aborted {
+						return
+					}
 					acked++
 					if acked == numPackets {
 						onAllAcked()
@@ -591,10 +736,7 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onA
 		})
 	}
 
-	// The client produces packets sequentially (T_c each) and sends them
-	// to the first datanode through its NIC.
-	for k := 0; k < numPackets; k++ {
-		k := k
+	pktBytesAt := func(k int) int64 {
 		pktBytes := s.cfg.PacketSize
 		if int64(k) == total/s.cfg.PacketSize {
 			pktBytes = total % s.cfg.PacketSize
@@ -602,8 +744,40 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, onFNFA, onA
 		if pktBytes == 0 {
 			pktBytes = s.cfg.PacketSize // exact multiple: every packet full
 		}
+		return pktBytes
+	}
+
+	// The client produces packets sequentially (T_c each) and sends them
+	// to the first datanode through its NIC.
+	limit := numPackets
+	if fault != nil && fault.AfterPackets < numPackets {
+		limit = fault.AfterPackets
+	} else {
+		fault = nil
+	}
+	for k := 0; k < limit; k++ {
+		k := k
+		pktBytes := pktBytesAt(k)
 		w.production.Enqueue(pktBytes, func() {
+			if aborted {
+				return
+			}
 			s.nw.Deliver(w.node, nodes[0], pktBytes, func() { arriveAtDN(0, k, pktBytes) })
+		})
+	}
+	if fault != nil {
+		w.faultFired[i] = true
+		bad, at := fault.BadIndex, fault.AfterPackets
+		// The next packet's production slot is where the client notices
+		// the broken pipe; one hop later the failure is reported.
+		w.production.Enqueue(pktBytesAt(limit), func() {
+			aborted = true
+			s.eng.Schedule(s.cfg.HopLatency, func() {
+				w.eng.HandleFailed(i, writesched.PipelineFailure{
+					BadIndex: bad,
+					Cause:    fmt.Errorf("sim: injected pipeline fault on block %d after %d packets", i, at),
+				})
+			})
 		})
 	}
 }

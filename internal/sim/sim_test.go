@@ -2,18 +2,33 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/ec2"
 	"repro/internal/proto"
+	"repro/internal/writesched"
 )
 
 const gb = 1 << 30
 
 func run(t *testing.T, cfg Config) Result {
 	t.Helper()
-	return Run(cfg)
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return r
+}
+
+func runMulti(t *testing.T, cfg Config, clients int) MultiResult {
+	t.Helper()
+	m, err := RunMulti(cfg, clients)
+	if err != nil {
+		t.Fatalf("sim.RunMulti: %v", err)
+	}
+	return m
 }
 
 func improvement(hdfs, smarth Result) float64 {
@@ -238,13 +253,13 @@ func TestImprovementMetric(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	cfg := Config{Preset: ec2.HeteroCluster, FileSize: 2 * gb, Mode: proto.ModeSmarth, Seed: 42}
-	a := Run(cfg)
-	b := Run(cfg)
+	a := run(t, cfg)
+	b := run(t, cfg)
 	if a.Duration != b.Duration {
 		t.Fatalf("same seed, different results: %v vs %v", a.Duration, b.Duration)
 	}
 	cfg.Seed = 43
-	c := Run(cfg)
+	c := run(t, cfg)
 	if c.Duration == a.Duration {
 		t.Logf("different seeds gave identical durations (possible, but unusual): %v", a.Duration)
 	}
@@ -272,14 +287,14 @@ func TestMediumLargeSimilar(t *testing.T) {
 
 func TestRunMultiBasics(t *testing.T) {
 	cfg := Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: proto.ModeSmarth, Seed: 2}
-	m := RunMulti(cfg, 3)
+	m := runMulti(t, cfg, 3)
 	if len(m.PerClient) != 3 {
 		t.Fatalf("per-client results = %d, want 3", len(m.PerClient))
 	}
 	if m.TotalBytes != 3*gb {
 		t.Fatalf("total bytes = %d", m.TotalBytes)
 	}
-	single := Run(cfg)
+	single := run(t, cfg)
 	for i, r := range m.PerClient {
 		if r.Duration <= 0 || r.Duration > m.Makespan {
 			t.Fatalf("client %d duration %v outside (0, makespan]", i, r.Duration)
@@ -297,7 +312,7 @@ func TestRunMultiBasics(t *testing.T) {
 
 func TestRunMultiDegenerate(t *testing.T) {
 	cfg := Config{Preset: ec2.SmallCluster, FileSize: 256 << 20, Mode: proto.ModeHDFS, Seed: 2}
-	m := RunMulti(cfg, 0) // clamps to 1
+	m := runMulti(t, cfg, 0) // clamps to 1
 	if len(m.PerClient) != 1 {
 		t.Fatalf("clamped clients = %d, want 1", len(m.PerClient))
 	}
@@ -310,8 +325,8 @@ func TestMultiWriterSmarthBeatsHDFS(t *testing.T) {
 	// Four concurrent writers on the heterogeneous cluster: SMARTH's
 	// advantage survives contention between clients.
 	base := Config{Preset: ec2.HeteroCluster, FileSize: 1 * gb, Seed: 5}
-	h := RunMulti(withMode(base, proto.ModeHDFS), 4)
-	s := RunMulti(withMode(base, proto.ModeSmarth), 4)
+	h := runMulti(t, withMode(base, proto.ModeHDFS), 4)
+	s := runMulti(t, withMode(base, proto.ModeSmarth), 4)
 	if s.Makespan >= h.Makespan {
 		t.Fatalf("multi-writer SMARTH makespan %v not better than HDFS %v", s.Makespan, h.Makespan)
 	}
@@ -327,7 +342,7 @@ func TestDiskSpeedMonotone(t *testing.T) {
 	// upload up, and a very slow disk must become the bottleneck.
 	var prev time.Duration
 	for i, disk := range []float64{1000, 300, 40} {
-		r := Run(Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: proto.ModeSmarth, DiskMBps: disk, Seed: 6})
+		r := run(t, Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: proto.ModeSmarth, DiskMBps: disk, Seed: 6})
 		if i > 0 && r.Duration < prev {
 			t.Fatalf("disk %v MB/s run (%v) faster than faster-disk run (%v)", disk, r.Duration, prev)
 		}
@@ -335,7 +350,7 @@ func TestDiskSpeedMonotone(t *testing.T) {
 	}
 	// 40 MB/s disk < 27 MB/s NIC? No: 40 > 27, NIC still the bottleneck,
 	// but a 10 MB/s disk must dominate.
-	slow := Run(Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: proto.ModeSmarth, DiskMBps: 10, Seed: 6})
+	slow := run(t, Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: proto.ModeSmarth, DiskMBps: 10, Seed: 6})
 	ideal := float64(1*gb) / 10e6 // seconds at disk speed
 	if slow.Duration.Seconds() < ideal {
 		t.Fatalf("10 MB/s-disk upload (%v) beat the disk bound (%.0fs)", slow.Duration, ideal)
@@ -347,15 +362,15 @@ func TestDiskSpeedMonotone(t *testing.T) {
 func TestSeedSweepInvariants(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		base := Config{Preset: ec2.SmallCluster, FileSize: 2 * gb, Seed: seed, CrossRackMbps: 100}
-		h := Run(withMode(base, proto.ModeHDFS))
-		s := Run(withMode(base, proto.ModeSmarth))
+		h := run(t, withMode(base, proto.ModeHDFS))
+		s := run(t, withMode(base, proto.ModeSmarth))
 		if s.Duration > h.Duration {
 			t.Errorf("seed %d throttled: SMARTH (%v) slower than HDFS (%v)", seed, s.Duration, h.Duration)
 		}
 
 		flat := Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Seed: seed}
-		fh := Run(withMode(flat, proto.ModeHDFS))
-		fs := Run(withMode(flat, proto.ModeSmarth))
+		fh := run(t, withMode(flat, proto.ModeHDFS))
+		fs := run(t, withMode(flat, proto.ModeSmarth))
 		if fs.Duration.Seconds() > fh.Duration.Seconds()*1.05 {
 			t.Errorf("seed %d unthrottled: SMARTH (%v) more than 5%% slower than HDFS (%v)", seed, fs.Duration, fh.Duration)
 		}
@@ -366,7 +381,7 @@ func TestSeedSweepInvariants(t *testing.T) {
 // and never violates placement liveness (conservation check).
 func TestFirstUseConservation(t *testing.T) {
 	for seed := int64(1); seed <= 6; seed++ {
-		r := Run(Config{Preset: ec2.HeteroCluster, FileSize: 2 * gb, Mode: proto.ModeSmarth, Seed: seed})
+		r := run(t, Config{Preset: ec2.HeteroCluster, FileSize: 2 * gb, Mode: proto.ModeSmarth, Seed: seed})
 		total := 0
 		for dn, n := range r.FirstDatanodeUse {
 			if n < 0 {
@@ -385,7 +400,7 @@ func TestFirstUseConservation(t *testing.T) {
 // replica's bytes arrive at exactly one datanode NIC).
 func TestByteConservation(t *testing.T) {
 	for _, mode := range []proto.WriteMode{proto.ModeHDFS, proto.ModeSmarth} {
-		r := Run(Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: mode, Seed: 9})
+		r := run(t, Config{Preset: ec2.SmallCluster, FileSize: 1 * gb, Mode: mode, Seed: 9})
 		if got := r.EgressBytes[ClientName]; got != 1*gb {
 			t.Errorf("%v: client egress = %d, want %d", mode, got, 1*gb)
 		}
@@ -411,7 +426,7 @@ func TestByteConservation(t *testing.T) {
 // In multi-client runs the shared counters scale with the client count.
 func TestByteConservationMultiClient(t *testing.T) {
 	const clients = 3
-	m := RunMulti(Config{Preset: ec2.SmallCluster, FileSize: 256 << 20, Mode: proto.ModeSmarth, Seed: 10}, clients)
+	m := runMulti(t, Config{Preset: ec2.SmallCluster, FileSize: 256 << 20, Mode: proto.ModeSmarth, Seed: 10}, clients)
 	r := m.PerClient[0]
 	var dnIngress int64
 	for i := 1; i <= 9; i++ {
@@ -438,15 +453,61 @@ func TestThreeRackExtension(t *testing.T) {
 		Preset: ec2.SmallCluster, FileSize: 4 * gb,
 		NumRacks: 3, CrossRackMbps: 100, Seed: 14,
 	}
-	h := Run(withMode(base, proto.ModeHDFS))
-	s := Run(withMode(base, proto.ModeSmarth))
+	h := run(t, withMode(base, proto.ModeHDFS))
+	s := run(t, withMode(base, proto.ModeSmarth))
 	imp := Improvement(h.Duration, s.Duration)
 	if imp < 0.2 {
 		t.Errorf("3-rack improvement = %.0f%%, want substantial", imp*100)
 	}
 	// Placement sanity: the namenode saw three racks.
-	r := Run(Config{Preset: ec2.SmallCluster, FileSize: 256 << 20, NumRacks: 3, Mode: proto.ModeHDFS, Seed: 14})
+	r := run(t, Config{Preset: ec2.SmallCluster, FileSize: 256 << 20, NumRacks: 3, Mode: proto.ModeHDFS, Seed: 14})
 	if r.Blocks == 0 {
 		t.Fatal("no blocks written")
+	}
+}
+
+// Satellite: namenode RPC failures surface as errors from Run, not
+// panics. A cluster with zero datanodes makes the very first AddBlock
+// fail placement with no retirable pipelines to wait for.
+func TestAddBlockFailureSurfacesError(t *testing.T) {
+	empty := ec2.ClusterPreset{Name: "empty", Client: ec2.Small}
+	_, err := Run(Config{
+		Preset: empty, FileSize: 1 << 20, Mode: proto.ModeSmarth,
+		BlockSize: 256 << 10, PacketSize: 64 << 10, Seed: 1,
+	})
+	if err == nil {
+		t.Fatal("Run with zero datanodes returned nil error")
+	}
+	if !strings.Contains(err.Error(), "no available datanodes") {
+		t.Fatalf("error = %v, want placement failure", err)
+	}
+}
+
+// Satellite: an injected pipeline fault mid-block triggers Algorithm 3
+// recovery and the upload still completes; the decision log records the
+// failure, the recovery RPC, and the successful re-stream.
+func TestInjectedFaultRecoversAndCompletes(t *testing.T) {
+	for _, mode := range []proto.WriteMode{proto.ModeSmarth, proto.ModeHDFS} {
+		t.Run(mode.String(), func(t *testing.T) {
+			var log writesched.DecisionLog
+			r, err := Run(Config{
+				Preset: ec2.SmallCluster, FileSize: 1 << 20, Mode: mode,
+				BlockSize: 256 << 10, PacketSize: 64 << 10, Seed: 3,
+				DecisionLog:    &log,
+				PipelineFaults: []PipelineFault{{Block: 1, AfterPackets: 2, BadIndex: -1}},
+			})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if r.Blocks != 4 {
+				t.Fatalf("blocks = %d, want 4", r.Blocks)
+			}
+			got := log.String()
+			for _, want := range []string{"fail idx=1", "recover idx=1 attempt=1", "restream idx=1", "recovered idx=1", "complete path="} {
+				if !strings.Contains(got, want) {
+					t.Fatalf("decision log missing %q:\n%s", want, got)
+				}
+			}
+		})
 	}
 }

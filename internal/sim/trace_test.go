@@ -14,7 +14,7 @@ func TestTraceSpansRecorded(t *testing.T) {
 		Preset: ec2.SmallCluster, FileSize: 512 << 20, // 8 blocks
 		Mode: proto.ModeSmarth, CrossRackMbps: 50, Trace: true, Seed: 7,
 	}
-	r := Run(cfg)
+	r := run(t, cfg)
 	if len(r.Pipelines) != r.Blocks {
 		t.Fatalf("spans = %d, want %d", len(r.Pipelines), r.Blocks)
 	}
@@ -41,7 +41,7 @@ func TestHDFSSpansNeverOverlap(t *testing.T) {
 		Preset: ec2.SmallCluster, FileSize: 256 << 20,
 		Mode: proto.ModeHDFS, Trace: true, Seed: 7,
 	}
-	r := Run(cfg)
+	r := run(t, cfg)
 	if got := MaxOverlap(r.Pipelines); got != 1 {
 		t.Fatalf("HDFS MaxOverlap = %d, want 1 (stop-and-wait)", got)
 	}
@@ -53,7 +53,7 @@ func TestHDFSSpansNeverOverlap(t *testing.T) {
 }
 
 func TestTraceOffByDefault(t *testing.T) {
-	r := Run(Config{Preset: ec2.SmallCluster, FileSize: 128 << 20, Mode: proto.ModeSmarth})
+	r := run(t, Config{Preset: ec2.SmallCluster, FileSize: 128 << 20, Mode: proto.ModeSmarth})
 	if r.Pipelines != nil {
 		t.Fatal("spans recorded without Trace")
 	}

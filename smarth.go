@@ -119,12 +119,15 @@ type Point = sim.Point
 // SimMultiResult summarizes a concurrent multi-client simulation.
 type SimMultiResult = sim.MultiResult
 
-// Simulate runs one upload in virtual time.
-func Simulate(cfg SimConfig) SimResult { return sim.Run(cfg) }
+// Simulate runs one upload in virtual time. Namenode RPC failures
+// surface as errors.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.Run(cfg) }
 
 // SimulateMulti runs several concurrent uploads (one per client) in
 // virtual time — the multi-writer extension.
-func SimulateMulti(cfg SimConfig, clients int) SimMultiResult { return sim.RunMulti(cfg, clients) }
+func SimulateMulti(cfg SimConfig, clients int) (SimMultiResult, error) {
+	return sim.RunMulti(cfg, clients)
+}
 
 // Experiments lists every figure of the paper's evaluation.
 func Experiments() []Experiment { return sim.Experiments() }

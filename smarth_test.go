@@ -50,12 +50,15 @@ func TestFacadeRoundTrip(t *testing.T) {
 }
 
 func TestFacadeSimulate(t *testing.T) {
-	r := smarth.Simulate(smarth.SimConfig{
+	r, err := smarth.Simulate(smarth.SimConfig{
 		Preset:   smarth.HeteroCluster,
 		FileSize: 512 << 20,
 		Mode:     smarth.ModeSmarth,
 		Seed:     2,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Duration <= 0 || r.Blocks != 8 {
 		t.Fatalf("simulate result = %+v", r)
 	}
@@ -127,9 +130,9 @@ func ExampleSimulate() {
 		Seed:     8,
 	}
 	cfg.Mode = smarth.ModeHDFS
-	hdfs := smarth.Simulate(cfg)
+	hdfs, _ := smarth.Simulate(cfg)
 	cfg.Mode = smarth.ModeSmarth
-	sm := smarth.Simulate(cfg)
+	sm, _ := smarth.Simulate(cfg)
 	fmt.Printf("HDFS uses %d pipeline at a time, SMARTH up to %d\n",
 		hdfs.PeakPipelines, sm.PeakPipelines)
 	fmt.Printf("SMARTH faster: %v\n", sm.Duration < hdfs.Duration)
