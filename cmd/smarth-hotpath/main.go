@@ -22,6 +22,7 @@ import (
 	"os"
 	"testing"
 
+	"repro/internal/client"
 	"repro/internal/hotbench"
 	"repro/internal/proto"
 )
@@ -85,6 +86,12 @@ func main() {
 		}),
 		run(fmt.Sprintf("LiveWrite%dMB/HDFS", *fileMB), func(b *testing.B) {
 			hotbench.LiveWrite(b, proto.ModeHDFS, fileBytes)
+		}),
+		run(fmt.Sprintf("LiveRead%dMB/SMARTH", *fileMB), func(b *testing.B) {
+			hotbench.LiveRead(b, client.ReadOptions{}, fileBytes)
+		}),
+		run(fmt.Sprintf("LiveRead%dMB/HDFS", *fileMB), func(b *testing.B) {
+			hotbench.LiveRead(b, client.ReadOptions{DisablePrefetch: true, HedgeAfter: -1}, fileBytes)
 		}),
 	}
 	if report.Baseline == nil {

@@ -138,14 +138,18 @@ type Client struct {
 	// Observability handles, cached at construction so hot paths never
 	// touch the registry. All are nil-safe: with Options.Obs unset every
 	// field is nil and each call site degrades to a no-op.
-	obs          *obs.Obs
-	connMetrics  *obs.ConnMetrics
-	mPacketRTT   *obs.Histogram // client→first-DN packet round trip
-	mFNFA        *obs.Histogram // block launch → FIRST NODE FINISH ACK
-	mBlockCommit *obs.Histogram // block launch → all acks drained
-	mRPC         *obs.Histogram // namenode RPC latency (client side)
-	mRecoveries  *obs.Counter   // Algorithm 3/4 recovery episodes
-	mRPCRetries  *obs.Counter   // namenode RPC attempts after the first
+	obs           *obs.Obs
+	connMetrics   *obs.ConnMetrics
+	mPacketRTT    *obs.Histogram // client→first-DN packet round trip
+	mFNFA         *obs.Histogram // block launch → FIRST NODE FINISH ACK
+	mBlockCommit  *obs.Histogram // block launch → all acks drained
+	mRPC          *obs.Histogram // namenode RPC latency (client side)
+	mRecoveries   *obs.Counter   // Algorithm 3/4 recovery episodes
+	mRPCRetries   *obs.Counter   // namenode RPC attempts after the first
+	mReadFill     *obs.Histogram // block-read wait for the next packet
+	mBlocksRead   *obs.Counter   // block streams opened
+	mReadHedges   *obs.Counter   // hedge replicas raced
+	mReadFailover *obs.Counter   // replicas dropped mid-read
 
 	stopCh chan struct{}
 	wg     sync.WaitGroup
@@ -191,6 +195,10 @@ func New(opts Options) (*Client, error) {
 		c.mRPC = comp.Histogram("rpc_call_ns")
 		c.mRecoveries = comp.Counter("recoveries")
 		c.mRPCRetries = comp.Counter("rpc_retries")
+		c.mReadFill = comp.Histogram("read_fill_ns")
+		c.mBlocksRead = comp.Counter("blocks_read")
+		c.mReadHedges = comp.Counter("read_hedges")
+		c.mReadFailover = comp.Counter("read_failovers")
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()

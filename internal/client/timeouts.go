@@ -25,6 +25,12 @@ type Timeouts struct {
 	// RPCCall bounds each namenode RPC attempt (retries get a fresh
 	// budget).
 	RPCCall time.Duration
+	// ReadProgress is the read-side analog of AckProgress: the
+	// per-operation progress bound while a block read drains. It covers
+	// the read-header write and each packet read, so a replica that
+	// accepts the connection and then goes silent trips failover instead
+	// of pinning the reader forever.
+	ReadProgress time.Duration
 }
 
 // DefaultTimeouts returns the production defaults. They are deliberately
@@ -33,11 +39,12 @@ type Timeouts struct {
 // them.
 func DefaultTimeouts() Timeouts {
 	return Timeouts{
-		Dial:        10 * time.Second,
-		SetupAck:    15 * time.Second,
-		FNFA:        60 * time.Second,
-		AckProgress: 30 * time.Second,
-		RPCCall:     15 * time.Second,
+		Dial:         10 * time.Second,
+		SetupAck:     15 * time.Second,
+		FNFA:         60 * time.Second,
+		AckProgress:  30 * time.Second,
+		RPCCall:      15 * time.Second,
+		ReadProgress: 30 * time.Second,
 	}
 }
 
@@ -50,6 +57,15 @@ func NoTimeouts() Timeouts { return Timeouts{} }
 // per-write override wins, then the client-level setting, then the
 // defaults.
 func (c *Client) resolveTimeouts(opts WriteOptions) Timeouts {
+	if opts.Timeouts != nil {
+		return *opts.Timeouts
+	}
+	return c.timeouts
+}
+
+// resolveReadTimeouts is resolveTimeouts for the read path: the
+// per-read override wins, then the client-level setting.
+func (c *Client) resolveReadTimeouts(opts ReadOptions) Timeouts {
 	if opts.Timeouts != nil {
 		return *opts.Timeouts
 	}

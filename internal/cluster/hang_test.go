@@ -17,11 +17,12 @@ import (
 // production-scale defaults.
 func hangTimeouts() *client.Timeouts {
 	return &client.Timeouts{
-		Dial:        500 * time.Millisecond,
-		SetupAck:    500 * time.Millisecond,
-		FNFA:        2 * time.Second,
-		AckProgress: 500 * time.Millisecond,
-		RPCCall:     time.Second,
+		Dial:         500 * time.Millisecond,
+		SetupAck:     500 * time.Millisecond,
+		FNFA:         2 * time.Second,
+		AckProgress:  500 * time.Millisecond,
+		RPCCall:      time.Second,
+		ReadProgress: 500 * time.Millisecond,
 	}
 }
 

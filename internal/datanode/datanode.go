@@ -95,6 +95,9 @@ type Datanode struct {
 	mBytesStored *obs.Counter
 	mStoreNS     *obs.Histogram // per-packet local store latency
 	mQueueDepth  *obs.Histogram // forward-queue depth in bytes, sampled per push
+	mReads       *obs.Counter   // read requests served
+	mReadPackets *obs.Counter   // packets sent to readers
+	mReadBytes   *obs.Counter   // payload bytes sent to readers
 
 	listener transport.Listener
 
@@ -141,6 +144,9 @@ func New(opts Options) (*Datanode, error) {
 		dn.mBytesStored = comp.Counter("bytes_stored")
 		dn.mStoreNS = comp.Histogram("packet_store_ns")
 		dn.mQueueDepth = comp.Histogram("queue_depth_bytes")
+		dn.mReads = comp.Counter("reads")
+		dn.mReadPackets = comp.Counter("read_packets")
+		dn.mReadBytes = comp.Counter("read_bytes")
 	}
 	return dn, nil
 }

@@ -1,8 +1,10 @@
 package datanode
 
 import (
+	"fmt"
 	"io"
 
+	"repro/internal/bufpool"
 	"repro/internal/checksum"
 	"repro/internal/proto"
 )
@@ -16,20 +18,27 @@ import (
 // window is widened to chunk boundaries; packets carry their true offset
 // in the block and the client trims the extra head/tail bytes.
 func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
-	fail := func() {
+	dn.mReads.Inc()
+	span := dn.opts.Obs.StartSpan("serve_read", nil)
+	defer span.End()
+	span.SetAttr("datanode", dn.opts.Name)
+	span.SetAttr("block", hdr.Block.String())
+	span.SetAttr("range", fmt.Sprintf("%d+%d", hdr.Offset, hdr.Length))
+	fail := func(err error) {
+		span.Fail(err)
 		_ = pc.WriteAck(&proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusError}})
 	}
 	r, length, err := dn.opts.Store.Open(hdr.Block.ID)
 	if err != nil {
 		dn.opts.Logf("datanode %s: read %v: %v", dn.opts.Name, hdr.Block, err)
-		fail()
+		fail(err)
 		return
 	}
 	defer r.Close()
 	sums, err := dn.opts.Store.Sums(hdr.Block.ID)
 	if err != nil {
 		dn.opts.Logf("datanode %s: read sums %v: %v", dn.opts.Name, hdr.Block, err)
-		fail()
+		fail(err)
 		return
 	}
 
@@ -58,23 +67,30 @@ func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
 	if start > 0 {
 		if seeker, ok := r.(io.Seeker); ok {
 			if _, err := seeker.Seek(start, io.SeekStart); err != nil {
-				fail()
+				fail(err)
 				return
 			}
 		} else if _, err := io.CopyN(io.Discard, r, start); err != nil {
-			fail()
+			fail(err)
 			return
 		}
 	}
 
 	if err := pc.WriteAck(&proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusSuccess}}); err != nil {
+		span.Fail(err)
 		return
 	}
 
 	// Stream chunk-aligned packets with the stored checksums, corked so
-	// small reads coalesce; the Last packet flushes the tail.
+	// small reads coalesce. The buffer is pooled (one checkout per
+	// request, zero per packet) and the deferred uncork covers every
+	// return path — the Last packet flushes through the cork on the happy
+	// path, the uncork flushes whatever a failed stream left behind.
 	_ = pc.SetCork(true)
-	buf := make([]byte, proto.DefaultPacketSize)
+	defer func() { _ = pc.SetCork(false) }()
+	bp := bufpool.Get(proto.DefaultPacketSize)
+	defer bufpool.Put(bp)
+	buf := *bp
 	var pkt proto.Packet
 	var seqno int64
 	pos := start
@@ -85,13 +101,17 @@ func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
 		}
 		m, err := io.ReadFull(r, buf[:n])
 		if err != nil && int64(m) != n {
-			return // truncated replica: drop the conn, reader fails over
+			// Truncated replica: drop the conn, reader fails over.
+			span.Fail(fmt.Errorf("replica truncated at %d: %w", pos+int64(m), err))
+			return
 		}
 		data := buf[:m]
 		firstChunk := pos / cs
 		lastChunk := (pos + int64(m) + cs - 1) / cs
 		if int(lastChunk) > len(sums) {
-			return // checksum metadata shorter than the data: corrupt
+			// Checksum metadata shorter than the data: corrupt.
+			span.Fail(fmt.Errorf("checksum metadata ends at chunk %d, data needs %d", len(sums), lastChunk))
+			return
 		}
 		pkt = proto.Packet{
 			Seqno:  seqno,
@@ -101,8 +121,12 @@ func (dn *Datanode) handleRead(pc *proto.Conn, hdr *proto.ReadBlockHeader) {
 			Data:   data,
 		}
 		if err := pc.WritePacket(&pkt); err != nil {
+			span.Fail(err)
 			return
 		}
+		dn.mReadPackets.Inc()
+		dn.mReadBytes.Add(int64(m))
+		span.Packet("send", seqno)
 		pos += int64(m)
 		seqno++
 		if pkt.Last {

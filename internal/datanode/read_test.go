@@ -1,0 +1,312 @@
+package datanode
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/block"
+	"repro/internal/checksum"
+	"repro/internal/proto"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// startReadDatanode boots a single datanode over a fresh MemNetwork with
+// one finalized replica of data, and returns the network plus the store
+// so tests can rig fault wrappers around it.
+func startReadDatanode(t *testing.T, store storage.Store) *transport.MemNetwork {
+	t.Helper()
+	n := transport.NewMemNetwork(nil)
+	startFakeNN(t, n)
+	dn, err := New(Options{
+		Name: "dn1", Addr: "dn1", NamenodeAddr: "nn",
+		Network: n, Store: store,
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dn.Stop)
+	return n
+}
+
+// storeBlock finalizes one replica of data under the given block.
+func storeBlock(t *testing.T, store storage.Store, blk block.Block, data []byte) {
+	t.Helper()
+	w, err := store.Create(blk, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readPackets issues OpReadBlock for [offset, offset+length) and drains
+// the stream, verifying every packet's checksums and offsets along the
+// way. It returns the concatenated payload and the packet count.
+func readPackets(t *testing.T, n *transport.MemNetwork, blk block.Block, offset, length int64) ([]byte, int64, []proto.Packet) {
+	t.Helper()
+	conn, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+	hdr := &proto.ReadBlockHeader{Block: blk, Offset: offset, Length: length}
+	if err := pc.WriteHeader(proto.OpReadBlock, hdr); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := pc.ReadAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Kind != proto.AckHeader || !ack.OK() {
+		t.Fatalf("setup ack = %+v", ack)
+	}
+	var out []byte
+	var count int64
+	var pkts []proto.Packet
+	first := int64(-1)
+	for {
+		pkt, err := pc.ReadPacket()
+		if err != nil {
+			t.Fatalf("packet %d: %v", count, err)
+		}
+		if first < 0 {
+			first = pkt.Offset
+			if first%checksum.DefaultChunkSize != 0 {
+				t.Fatalf("first packet offset %d not chunk-aligned", first)
+			}
+		}
+		if pkt.Offset != first+int64(len(out)) {
+			t.Fatalf("packet %d offset = %d, want %d", count, pkt.Offset, first+int64(len(out)))
+		}
+		if err := checksum.VerifyEncoded(pkt.Data, pkt.RawSums, checksum.DefaultChunkSize); err != nil {
+			t.Fatalf("packet %d: %v", count, err)
+		}
+		out = append(out, pkt.Data...)
+		last := pkt.Last
+		cp := proto.Packet{Seqno: pkt.Seqno, Offset: pkt.Offset, Last: pkt.Last}
+		pkt.Release()
+		pkts = append(pkts, cp)
+		count++
+		if last {
+			return out, first, pkts
+		}
+	}
+}
+
+// TestHandleReadZeroLengthAtChunkBoundaries: a zero-length window —
+// anywhere, but chunk boundaries are where the widening arithmetic is
+// most fragile — must yield exactly one empty Last packet, not a hang
+// and not a dropped conn.
+func TestHandleReadZeroLengthAtChunkBoundaries(t *testing.T) {
+	const cs = checksum.DefaultChunkSize
+	data := randomBytes(501, 4*cs+100)
+	store := storage.NewMemStore()
+	blk := block.Block{ID: 10, Gen: 1, NumBytes: int64(len(data))}
+	storeBlock(t, store, blk, data)
+	n := startReadDatanode(t, store)
+
+	// Offsets on chunk boundaries: no widening applies, so the stream is
+	// exactly one empty Last packet. (Unaligned offsets legitimately get
+	// the widened chunk — covered by TestHandleReadZeroLengthMidChunk.)
+	for _, off := range []int64{0, cs, 2 * cs, 4 * cs} {
+		got, _, pkts := readPackets(t, n, blk, off, 0)
+		if len(got) != 0 {
+			t.Fatalf("offset %d: zero-length read returned %d bytes", off, len(got))
+		}
+		if len(pkts) != 1 || !pkts[0].Last {
+			t.Fatalf("offset %d: got %d packets, want one empty Last packet", off, len(pkts))
+		}
+	}
+}
+
+// TestHandleReadZeroLengthMidChunk: a zero-length window inside a chunk
+// still serves nothing — the widening must not balloon 0 requested bytes
+// into a whole chunk of payload.
+func TestHandleReadZeroLengthMidChunk(t *testing.T) {
+	const cs = checksum.DefaultChunkSize
+	data := randomBytes(503, 3*cs)
+	store := storage.NewMemStore()
+	blk := block.Block{ID: 11, Gen: 1, NumBytes: int64(len(data))}
+	storeBlock(t, store, blk, data)
+	n := startReadDatanode(t, store)
+
+	got, first, _ := readPackets(t, n, blk, cs+100, 0)
+	// The window is widened to chunk boundaries; the client trims. All
+	// that matters is the served bytes match the store at their offsets
+	// and cover the (empty) request.
+	if !bytes.Equal(got, data[first:first+int64(len(got))]) {
+		t.Fatalf("served bytes disagree with store at offset %d", first)
+	}
+	if int64(len(got)) > cs {
+		t.Fatalf("zero-length mid-chunk read served %d bytes, want at most one chunk", len(got))
+	}
+}
+
+// TestHandleReadOffsetPastEOF: an offset beyond the replica clamps to
+// EOF and yields the widened tail (the last partial chunk) rather than
+// an error or a hang — the client trims it to nothing.
+func TestHandleReadOffsetPastEOF(t *testing.T) {
+	const cs = checksum.DefaultChunkSize
+	data := randomBytes(505, 2*cs+137) // unaligned tail
+	store := storage.NewMemStore()
+	blk := block.Block{ID: 12, Gen: 1, NumBytes: int64(len(data))}
+	storeBlock(t, store, blk, data)
+	n := startReadDatanode(t, store)
+
+	got, first, pkts := readPackets(t, n, blk, int64(len(data))+10_000, -1)
+	if !pkts[len(pkts)-1].Last {
+		t.Fatal("stream did not end with a Last packet")
+	}
+	if first+int64(len(got)) != int64(len(data)) {
+		t.Fatalf("stream ends at %d, want EOF %d", first+int64(len(got)), len(data))
+	}
+	if !bytes.Equal(got, data[first:]) {
+		t.Fatal("widened tail disagrees with stored bytes")
+	}
+}
+
+// shortSumsStore serves the underlying store's checksums truncated to
+// nSums entries — metadata rot where the meta file lost its tail.
+type shortSumsStore struct {
+	storage.Store
+	nSums int
+}
+
+func (s *shortSumsStore) Sums(id block.ID) ([]uint32, error) {
+	sums, err := s.Store.Sums(id)
+	if err != nil {
+		return nil, err
+	}
+	if len(sums) > s.nSums {
+		sums = sums[:s.nSums]
+	}
+	return sums, nil
+}
+
+// TestHandleReadShortChecksumMetadata: when the checksum metadata covers
+// fewer chunks than the data, the datanode must drop the connection
+// (so the reader fails over) instead of serving unverifiable bytes or
+// panicking on the sums slice.
+func TestHandleReadShortChecksumMetadata(t *testing.T) {
+	const cs = checksum.DefaultChunkSize
+	data := randomBytes(507, 4*cs)
+	inner := storage.NewMemStore()
+	blk := block.Block{ID: 13, Gen: 1, NumBytes: int64(len(data))}
+	storeBlock(t, inner, blk, data)
+	n := startReadDatanode(t, &shortSumsStore{Store: inner, nSums: 2})
+
+	conn, err := n.Dial("client", "dn1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := proto.NewConn(conn)
+	defer pc.Close()
+	if err := pc.WriteHeader(proto.OpReadBlock, &proto.ReadBlockHeader{Block: blk, Offset: 0, Length: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := pc.ReadAck()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.OK() {
+		t.Fatalf("setup ack = %+v", ack)
+	}
+	// One 64 KiB packet buffer covers all 4 chunks, so the very first
+	// packet hits the short metadata and the conn must drop.
+	for {
+		pkt, err := pc.ReadPacket()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, transport.ErrClosed) {
+				return // dropped, as required
+			}
+			return // any transport-level drop is acceptable
+		}
+		if pkt.Last {
+			t.Fatal("stream completed despite checksum metadata shorter than the data")
+		}
+		pkt.Release()
+	}
+}
+
+// seekableStore wraps MemStore so Open returns an io.ReadSeeker —
+// exercising handleRead's Seek fast path instead of the CopyN skip.
+type seekableStore struct {
+	*storage.MemStore
+	data map[block.ID][]byte
+}
+
+type seekReadCloser struct{ *bytes.Reader }
+
+func (seekReadCloser) Close() error { return nil }
+
+func (s *seekableStore) Open(id block.ID) (io.ReadCloser, int64, error) {
+	r, length, err := s.MemStore.Open(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	_ = r.Close()
+	return seekReadCloser{bytes.NewReader(s.data[id])}, length, nil
+}
+
+// TestHandleReadSeekerAndCopyNParity: a mid-block range must come back
+// identical whether the store's reader supports Seek (seek fast path)
+// or not (io.CopyN discard path — MemStore's NopCloser default).
+func TestHandleReadSeekerAndCopyNParity(t *testing.T) {
+	const cs = checksum.DefaultChunkSize
+	data := randomBytes(509, 100*cs+250)
+	blk := block.Block{ID: 14, Gen: 1, NumBytes: int64(len(data))}
+
+	run := func(t *testing.T, store storage.Store) ([]byte, int64) {
+		n := startReadDatanode(t, store)
+		// Offset mid-chunk, deep enough in the block that the skip path
+		// actually skips multiple packets' worth of data.
+		got, first, _ := readPackets(t, n, blk, 70*cs+13, 5*cs)
+		return got, first
+	}
+
+	plain := storage.NewMemStore()
+	storeBlock(t, plain, blk, data)
+	gotPlain, firstPlain := run(t, plain)
+
+	seekable := &seekableStore{MemStore: storage.NewMemStore(), data: map[block.ID][]byte{blk.ID: data}}
+	storeBlock(t, seekable.MemStore, blk, data)
+	gotSeek, firstSeek := run(t, seekable)
+
+	if firstPlain != firstSeek || !bytes.Equal(gotPlain, gotSeek) {
+		t.Fatalf("seeker/CopyN divergence: first %d vs %d, %d vs %d bytes",
+			firstPlain, firstSeek, len(gotPlain), len(gotSeek))
+	}
+	if !bytes.Equal(gotPlain, data[firstPlain:firstPlain+int64(len(gotPlain))]) {
+		t.Fatal("served range disagrees with stored bytes")
+	}
+	if firstPlain != 70*cs {
+		t.Fatalf("first served offset = %d, want chunk-aligned %d", firstPlain, 70*cs)
+	}
+	end := firstPlain + int64(len(gotPlain))
+	if end < 70*cs+13+5*cs {
+		t.Fatalf("served window ends at %d, short of the requested end %d", end, 70*cs+13+5*cs)
+	}
+}
+
+// randomBytes is a deterministic payload generator local to this package.
+func randomBytes(seed int64, n int) []byte {
+	out := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(out)
+	return out
+}

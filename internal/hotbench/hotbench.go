@@ -168,3 +168,59 @@ func LiveWriteObs(b *testing.B, mode proto.WriteMode, fileBytes int64, o *obs.Ob
 		}
 	}
 }
+
+// LiveRead streams one fileBytes file back through the real read stack —
+// ranged block reads, wire checksum verification, pooled packets — on an
+// unshaped in-memory network, with the read behavior set by ro: the
+// SMARTH configuration keeps next-block prefetch on, the HDFS baseline
+// disables prefetch and hedging (dial-handshake-drain per block, like
+// the stock DFSInputStream). The file is written once outside the timed
+// region; each iteration is one full sequential read into a reused
+// buffer.
+func LiveRead(b *testing.B, ro client.ReadOptions, fileBytes int64) {
+	c, err := cluster.Start(cluster.Config{NumDatanodes: 9, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient("hotbench-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	w, err := cl.CreateSmarth("/hotbench/read", client.WriteOptions{
+		Replication: 3,
+		BlockSize:   1 << 20,
+		PacketSize:  64 << 10,
+		Overwrite:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cbuf := make([]byte, 64<<10)
+	if _, err := io.CopyBuffer(struct{ io.Writer }{w}, workload.NewReader(1, fileBytes), cbuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.OpenWith("/hotbench/read", ro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.CopyBuffer(struct{ io.Writer }{io.Discard}, r, cbuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != fileBytes {
+			b.Fatalf("read %d bytes, want %d", n, fileBytes)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

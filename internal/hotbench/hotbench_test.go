@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/checksum"
+	"repro/internal/client"
 	"repro/internal/obs"
 	"repro/internal/proto"
 )
@@ -30,6 +31,15 @@ func BenchmarkHotPathLiveWrite64MB(b *testing.B) {
 			LiveWrite(b, mode, 64<<20)
 		})
 	}
+}
+
+func BenchmarkHotPathLiveRead64MB(b *testing.B) {
+	b.Run(proto.ModeSmarth.String(), func(b *testing.B) {
+		LiveRead(b, client.ReadOptions{}, 64<<20)
+	})
+	b.Run(proto.ModeHDFS.String(), func(b *testing.B) {
+		LiveRead(b, client.ReadOptions{DisablePrefetch: true, HedgeAfter: -1}, 64<<20)
+	})
 }
 
 func BenchmarkHotPathLiveWrite64MBObs(b *testing.B) {

@@ -285,6 +285,21 @@ func (s *MemStore) VerifyBlock(id block.ID) error {
 	return checksum.Verify(data, sums, checksum.DefaultChunkSize)
 }
 
+// Truncate shortens a finalized replica's stored bytes to n without
+// touching its recorded length or checksums (fault injection only) —
+// the rotted-tail model: the replica looks whole in metadata until a
+// reader runs off the end of the data.
+func (s *MemStore) Truncate(id block.ID, n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep, ok := s.replicas[id]
+	if !ok || n < 0 || int64(len(rep.data)) < n {
+		return fmt.Errorf("%w: blk_%d", ErrNotFound, id)
+	}
+	rep.data = rep.data[:n]
+	return nil
+}
+
 // Corrupt flips a byte in a finalized replica (fault injection only).
 func (s *MemStore) Corrupt(id block.ID, offset int64) error {
 	s.mu.Lock()

@@ -574,8 +574,8 @@ func TestEagerRetireFreesSlotOnCommit(t *testing.T) {
 	e.HandleFNFA(0, time.Second)
 	e.Offer(100)
 	e.HandleFNFA(1, time.Second)
-	e.Offer(100)               // cap reached
-	e.HandleDrained(1)         // the NEWER pipeline commits first
+	e.Offer(100)       // cap reached
+	e.HandleDrained(1) // the NEWER pipeline commits first
 	if n := m.count("addblock(2"); n != 1 {
 		t.Fatal("eager retire did not free the slot on an out-of-order commit")
 	}
