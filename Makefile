@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race docs-check bench-hotpath conformance
+.PHONY: build test vet race docs-check bench-hotpath bench-check profile conformance
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,21 @@ docs-check:
 # the pre-change baseline entry).
 bench-hotpath:
 	$(GO) run ./cmd/smarth-hotpath -out BENCH_hotpath.json
+
+# Regression-guard the hot path against the committed BENCH_hotpath.json
+# (tight on allocs/op, loose on MB/s; see cmd/smarth-hotpath -check).
+# A smaller upload keeps it CI-fast; the committed numbers are 64 MB, so
+# only size-independent allocation gates apply at other sizes.
+bench-check:
+	$(GO) run ./cmd/smarth-hotpath -check
+
+# Capture CPU and allocation profiles of the whole hot-path suite as
+# pprof files (CI uploads these as artifacts; inspect with
+# `go tool pprof -top profile_cpu.pb.gz`). Results go to a scratch JSON
+# so the committed BENCH_hotpath.json is untouched and regressions do
+# not fail the profiling job (bench-check is the gate).
+profile:
+	$(GO) run ./cmd/smarth-hotpath -out profile_bench.json -cpuprofile profile_cpu.pb.gz -memprofile profile_mem.pb.gz
 
 # Differential live/sim conformance: replay the seeded scenarios through
 # both substrates and byte-compare the writesched decision logs.

@@ -29,6 +29,8 @@ func main() {
 	mode := flag.String("mode", "smarth", "write protocol: hdfs | smarth")
 	replication := flag.Int("replication", 3, "replication factor")
 	blockSize := flag.Int64("block", 64<<20, "block size in bytes")
+	stripes := flag.Int("stripes", 1,
+		fmt.Sprintf("conns per pipeline hop (1-%d); >1 stripes packets across them", proto.MaxStripes))
 	verify := flag.Bool("verify", false, "read the file back and check its digest")
 	timeout := flag.Duration("timeout", 0,
 		"stall-detection bound: dial, setup-ack, ack-progress and per-RPC timeouts (FNFA gets 4x); 0 = library defaults")
@@ -71,6 +73,7 @@ func main() {
 		opts := client.WriteOptions{
 			Replication: *replication,
 			BlockSize:   *blockSize,
+			Stripes:     *stripes,
 			Overwrite:   true,
 		}
 		var w io.WriteCloser

@@ -108,6 +108,21 @@ type WriteOptions struct {
 	// SpeedOverride replaces measured FNFA speed samples with scripted
 	// ones (conformance harness).
 	SpeedOverride writesched.SpeedFunc
+	// Stripes fans each pipeline hop's data out over N parallel
+	// connections (proto stripe protocol), reassembled in seqno order at
+	// every datanode — one writer filling a fat link the way parallel
+	// TCP streams do. 0 or 1 disables striping; capped at
+	// proto.MaxStripes. Acks, the FNFA, and recovery are unchanged: they
+	// ride the stripe-0 conn.
+	Stripes int
+	// CorkBytes tunes the adaptive cork on data conns: a corked conn
+	// flushes once this many bytes are pending (0 = proto's 128 KiB
+	// default). Only small packets cork — payloads of 4 KiB or more go
+	// out immediately as zero-copy write vectors.
+	CorkBytes int
+	// CorkDelay bounds how long corked bytes may age before the next
+	// packet write flushes them (0 = no age bound, size-only).
+	CorkDelay time.Duration
 }
 
 func (o *WriteOptions) applyDefaults() {
@@ -119,6 +134,12 @@ func (o *WriteOptions) applyDefaults() {
 	}
 	if o.PacketSize <= 0 {
 		o.PacketSize = proto.DefaultPacketSize
+	}
+	if o.Stripes < 1 {
+		o.Stripes = 1
+	}
+	if o.Stripes > proto.MaxStripes {
+		o.Stripes = proto.MaxStripes
 	}
 }
 

@@ -106,6 +106,7 @@ func (c *Client) newSchedWriter(path string, opts WriteOptions, maxPipelines int
 		DisableLocalOpt:    opts.DisableLocalOpt,
 		ProtocolHeartbeats: protocolHeartbeats,
 		StrictRetire:       opts.StrictRetire,
+		Stripes:            opts.Stripes,
 		Seed:               seed,
 		SpeedOverride:      opts.SpeedOverride,
 		Log:                opts.SchedLog,
@@ -123,6 +124,12 @@ func (w *schedWriter) Write(p []byte) (int, error) {
 	}
 	if w.werr != nil {
 		return 0, w.werr
+	}
+	if cap(w.buf) == 0 && w.opts.BlockSize > 0 {
+		// Preallocate the staging buffer: growing to BlockSize through
+		// append's large-slice policy (~1.25x steps) allocates several
+		// times the block size in dead intermediates per writer.
+		w.buf = make([]byte, 0, w.opts.BlockSize+int64(len(p)))
 	}
 	w.buf = append(w.buf, p...)
 	w.addBytes(len(p))
@@ -465,14 +472,14 @@ func (w *schedWriter) runPipeline(idx int, lb block.LocatedBlock, restream bool)
 		w.eng.HandleFailed(idx, writesched.PipelineFailure{BadIndex: bad, Cause: err})
 	}
 
-	p, err := w.c.openPipeline(lb, w.opts.Mode, w.to, parent)
+	p, err := w.c.openPipeline(lb, &w.opts, w.to, parent)
 	if err != nil {
 		fail(err)
 		return
 	}
 	w.register(p)
 	start := w.c.clk.Now()
-	if err := w.c.streamBlock(p, data, w.opts.PacketSize); err != nil {
+	if err := w.c.streamBlock(p, data, &w.opts); err != nil {
 		// Unblock the responder (it is reading acks from a dead conn).
 		p.close()
 		<-p.done

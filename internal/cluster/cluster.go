@@ -53,6 +53,9 @@ type Config struct {
 	// Namenode.SaveImage) into the fresh namenode before any datanode
 	// registers — the restart path.
 	Image io.Reader
+	// TCPTuning overrides the socket tuning StartTCP applies to every
+	// connection (nil = transport.DefaultTCPTuning). Ignored by Start.
+	TCPTuning *transport.TCPTuning
 	// Obs, when set, is shared by the namenode, every datanode, and every
 	// client created with NewClient: one registry and one tracer for the
 	// whole in-process cluster. nil disables observability.
@@ -63,8 +66,10 @@ type Config struct {
 
 // Cluster is a running in-process cluster.
 type Cluster struct {
-	cfg Config
-	// Net is the in-memory network carrying all traffic.
+	cfg    Config
+	nnAddr string
+	// Net is the in-memory network carrying all traffic (nil when the
+	// cluster was booted with StartTCP).
 	Net *transport.MemNetwork
 	// EffNet is the network components actually dial through: Net, or
 	// the WrapNetwork decoration of it.
@@ -80,8 +85,7 @@ type Cluster struct {
 // DatanodeName returns the canonical name of datanode i (0-based).
 func DatanodeName(i int) string { return fmt.Sprintf("dn%d", i+1) }
 
-// Start boots the cluster and waits until every datanode registered.
-func Start(cfg Config) (*Cluster, error) {
+func applyDefaults(cfg Config) Config {
 	if cfg.NumDatanodes <= 0 {
 		cfg.NumDatanodes = 3
 	}
@@ -103,6 +107,13 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	return cfg
+}
+
+// Start boots the cluster over the in-memory transport and waits until
+// every datanode registered.
+func Start(cfg Config) (*Cluster, error) {
+	cfg = applyDefaults(cfg)
 
 	var policy transport.LinkPolicy
 	if cfg.Shaper != nil {
@@ -114,20 +125,52 @@ func Start(cfg Config) (*Cluster, error) {
 	if cfg.WrapNetwork != nil {
 		effNet = cfg.WrapNetwork(net)
 	}
+	c := &Cluster{cfg: cfg, Net: net, EffNet: effNet}
+	return boot(c, NamenodeAddr, func(i int) string { return DatanodeName(i) })
+}
 
+// StartTCP boots the same topology Start builds, but over real loopback
+// TCP sockets with kernel-assigned ports: the wiring cmd/smarth-cluster
+// uses, in-process. Socket tuning comes from Config.TCPTuning (nil =
+// transport.DefaultTCPTuning). WrapNetwork decorates the in-memory
+// network only and is rejected; Shaper plans are keyed by component
+// name and do not match TCP addresses, so they are rejected too.
+func StartTCP(cfg Config) (*Cluster, error) {
+	cfg = applyDefaults(cfg)
+	if cfg.WrapNetwork != nil {
+		return nil, fmt.Errorf("cluster: WrapNetwork is not supported over TCP")
+	}
+	if cfg.Shaper != nil {
+		return nil, fmt.Errorf("cluster: Shaper is not supported over TCP")
+	}
+	tuning := transport.DefaultTCPTuning
+	if cfg.TCPTuning != nil {
+		tuning = *cfg.TCPTuning
+	}
+	c := &Cluster{cfg: cfg, EffNet: transport.NewTCPNetworkTuned(nil, tuning)}
+	return boot(c, "127.0.0.1:0", func(int) string { return "127.0.0.1:0" })
+}
+
+// boot starts the namenode and datanodes on c.EffNet. nnAddr and
+// dnAddr give the listen addresses to request; the actual bound
+// addresses (which differ on TCP, where the kernel picks ports) are
+// what components advertise.
+func boot(c *Cluster, nnAddr string, dnAddr func(i int) string) (*Cluster, error) {
+	cfg := c.cfg
 	nn := namenode.New(namenode.Options{Clock: cfg.Clock, Expiry: cfg.Expiry, Seed: cfg.Seed, Obs: cfg.Obs})
 	if cfg.Image != nil {
 		if err := nn.LoadImage(cfg.Image); err != nil {
 			return nil, err
 		}
 	}
-	nnListener, err := effNet.Listen(NamenodeAddr)
+	nnListener, err := c.EffNet.Listen(nnAddr)
 	if err != nil {
 		return nil, err
 	}
 	go nn.Serve(nnListener)
+	c.NN = nn
+	c.nnAddr = nnListener.Addr()
 
-	c := &Cluster{cfg: cfg, Net: net, EffNet: effNet, NN: nn}
 	for i := 0; i < cfg.NumDatanodes; i++ {
 		name := DatanodeName(i)
 		store, err := cfg.NewStore(name)
@@ -137,10 +180,10 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		dn, err := datanode.New(datanode.Options{
 			Name:              name,
-			Addr:              name,
+			Addr:              dnAddr(i),
 			Rack:              cfg.RackFor(i),
-			NamenodeAddr:      NamenodeAddr,
-			Network:           effNet,
+			NamenodeAddr:      c.nnAddr,
+			Network:           c.EffNet,
 			Store:             store,
 			Clock:             cfg.Clock,
 			HeartbeatInterval: cfg.HeartbeatInterval,
@@ -165,7 +208,7 @@ func Start(cfg Config) (*Cluster, error) {
 func (c *Cluster) NewClient(name string) (*client.Client, error) {
 	cl, err := client.New(client.Options{
 		Name:              name,
-		NamenodeAddr:      NamenodeAddr,
+		NamenodeAddr:      c.nnAddr,
 		Network:           c.EffNet,
 		Clock:             c.cfg.Clock,
 		HeartbeatInterval: c.cfg.HeartbeatInterval,
@@ -194,7 +237,9 @@ func (c *Cluster) Datanode(name string) *datanode.Datanode {
 // KillDatanode simulates a crash: the node is partitioned from the
 // network (all connections break, new dials fail) and its process stops.
 func (c *Cluster) KillDatanode(name string) {
-	c.Net.Partition(name)
+	if c.Net != nil {
+		c.Net.Partition(name)
+	}
 	if dn := c.Datanode(name); dn != nil {
 		dn.Stop()
 	}

@@ -105,6 +105,11 @@ type Datanode struct {
 	nnClient *rpc.Client
 	stopped  bool
 
+	// stripeSessions rendezvous striped-write join conns with their
+	// block's primary write handler; see stripe.go.
+	stripeMu       sync.Mutex
+	stripeSessions map[stripeKey]*stripeSession
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -366,7 +371,12 @@ func (dn *Datanode) serveConn(conn transport.Conn) {
 	}
 	switch op {
 	case proto.OpWriteBlock:
-		dn.handleWrite(pc, hdr.(*proto.WriteBlockHeader))
+		wh := hdr.(*proto.WriteBlockHeader)
+		if wh.Stripes > 1 && wh.StripeID > 0 {
+			dn.handleStripeJoin(pc, wh)
+			return
+		}
+		dn.handleWrite(pc, wh)
 	case proto.OpReadBlock:
 		dn.handleRead(pc, hdr.(*proto.ReadBlockHeader))
 	default:

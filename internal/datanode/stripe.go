@@ -1,0 +1,261 @@
+package datanode
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/block"
+	"repro/internal/proto"
+)
+
+// Striped writes: a client (or upstream datanode) may fan one block's
+// packets over N parallel conns to this datanode (proto
+// WriteBlockHeader.Stripes). The conn carrying StripeID 0 is the primary
+// — it runs the ordinary write pipeline (setup, acks, mirror, FNFA) and
+// registers a stripeSession before acking its header, so the StripeID>0
+// conns, dialed only after the client sees that ack, always find the
+// session. Join conns push raw packets into the session; the primary's
+// receive loop drains them through a stripeSource that restores seqno
+// order before verification and storage, which keeps everything
+// downstream of reassembly (checksum, store, forward queue, ack
+// discipline) identical to the single-conn path.
+//
+// Liveness is bounded the same way as unstriped writes: every conn —
+// primary, join, and mirror stripes — carries the datanode's
+// per-operation DataTimeout, so a stalled stripe fails its reader, which
+// fails the session, which aborts the pipeline.
+
+// maxStripeHold bounds the reorder window in packets. The sender emits
+// seqnos in order and round-robins stripes, so a hole older than the
+// in-flight window means a lost or duplicated packet; past this many
+// held packets the session is corrupt, not slow.
+const maxStripeHold = 1 << 14
+
+// stripeKey identifies a striped write session at one datanode. The
+// generation stamp distinguishes a recovery re-stream from the original
+// attempt; the client name keeps concurrent writers apart.
+type stripeKey struct {
+	id     block.ID
+	gen    block.GenStamp
+	client string
+}
+
+func sessionKey(hdr *proto.WriteBlockHeader) stripeKey {
+	return stripeKey{id: hdr.Block.ID, gen: hdr.Block.Gen, client: hdr.Client}
+}
+
+// stripeSession is the rendezvous between a block's primary write
+// handler and the join conns feeding it packets.
+type stripeSession struct {
+	stripes int
+	ch      chan *proto.Packet
+
+	done  chan struct{} // closed by finish: the primary handler is gone
+	errCh chan struct{} // closed by the first fail
+	fail1 sync.Once
+	err   error
+
+	finish1 sync.Once
+
+	mu     sync.Mutex
+	closed bool
+	conns  []*proto.Conn // attached join conns, closed by finish
+}
+
+func newStripeSession(stripes int) *stripeSession {
+	return &stripeSession{
+		stripes: stripes,
+		ch:      make(chan *proto.Packet, 4*stripes),
+		done:    make(chan struct{}),
+		errCh:   make(chan struct{}),
+	}
+}
+
+// attach registers a join conn so teardown can unblock its reader.
+// Reports false once the session is finished.
+func (s *stripeSession) attach(pc *proto.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns = append(s.conns, pc)
+	return true
+}
+
+// fail records the first stripe error and wakes the ingest loop. Safe
+// from any stripe reader.
+func (s *stripeSession) fail(err error) {
+	s.fail1.Do(func() {
+		s.err = err
+		close(s.errCh)
+	})
+}
+
+// finish tears the session down: no new joins, attached conns closed
+// (unblocking their readers), pending pushes released. Idempotent.
+func (s *stripeSession) finish() {
+	s.finish1.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		conns := s.conns
+		s.mu.Unlock()
+		close(s.done)
+		for _, c := range conns {
+			c.Close()
+		}
+		// Release whatever was in flight toward the ingest loop.
+		for {
+			select {
+			case p := <-s.ch:
+				p.Release()
+			default:
+				return
+			}
+		}
+	})
+}
+
+// push hands a packet (and its release duty) to the ingest loop.
+// Reports false — after releasing the packet — when the session is over.
+func (s *stripeSession) push(p *proto.Packet) bool {
+	select {
+	case s.ch <- p:
+		return true
+	case <-s.done:
+		p.Release()
+		return false
+	}
+}
+
+// --- session registry ---
+
+func (dn *Datanode) registerStripe(hdr *proto.WriteBlockHeader) (*stripeSession, error) {
+	key := sessionKey(hdr)
+	s := newStripeSession(int(hdr.Stripes))
+	dn.stripeMu.Lock()
+	defer dn.stripeMu.Unlock()
+	if dn.stripeSessions == nil {
+		dn.stripeSessions = make(map[stripeKey]*stripeSession)
+	}
+	if _, exists := dn.stripeSessions[key]; exists {
+		return nil, fmt.Errorf("striped write for %v by %q already in progress", hdr.Block, hdr.Client)
+	}
+	dn.stripeSessions[key] = s
+	return s, nil
+}
+
+func (dn *Datanode) lookupStripe(hdr *proto.WriteBlockHeader) *stripeSession {
+	dn.stripeMu.Lock()
+	defer dn.stripeMu.Unlock()
+	return dn.stripeSessions[sessionKey(hdr)]
+}
+
+func (dn *Datanode) unregisterStripe(hdr *proto.WriteBlockHeader) {
+	dn.stripeMu.Lock()
+	defer dn.stripeMu.Unlock()
+	delete(dn.stripeSessions, sessionKey(hdr))
+}
+
+// handleStripeJoin serves one StripeID>0 conn: find the session the
+// primary registered, ack the header, then pump packets into it until
+// the stripe drains (EOF on teardown) or fails.
+func (dn *Datanode) handleStripeJoin(pc *proto.Conn, hdr *proto.WriteBlockHeader) {
+	sess := dn.lookupStripe(hdr)
+	ack := &proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: []proto.Status{proto.StatusSuccess}}
+	if sess == nil || sess.stripes != int(hdr.Stripes) || !sess.attach(pc) {
+		dn.opts.Logf("datanode %s: stripe %d/%d join for %v: no session",
+			dn.opts.Name, hdr.StripeID, hdr.Stripes, hdr.Block)
+		ack.Statuses[0] = proto.StatusError
+		_ = pc.WriteAck(ack)
+		return
+	}
+	if err := pc.WriteAck(ack); err != nil {
+		sess.fail(err)
+		return
+	}
+	for {
+		p, err := pc.ReadPacket()
+		if err != nil {
+			// EOF here is the normal teardown (the sender closes join
+			// conns once the block is done); a mid-block failure reaches
+			// the ingest loop, which is still listening, and aborts the
+			// pipeline. fail after completion is recorded but unread.
+			sess.fail(err)
+			return
+		}
+		if !sess.push(p) {
+			return
+		}
+	}
+}
+
+// --- packet sources ---
+
+// packetSource yields one block's packets in seqno order; the caller
+// takes each packet's release duty. It is how the receive loop stays
+// agnostic to whether packets arrive on one conn or many.
+type packetSource interface {
+	next() (*proto.Packet, error)
+}
+
+// connSource reads straight off the upstream conn (the unstriped path).
+type connSource struct{ pc *proto.Conn }
+
+func (s connSource) next() (*proto.Packet, error) { return s.pc.ReadPacket() }
+
+// stripeSource merges the session's stripes back into seqno order: out-
+// of-order arrivals wait in hold until the next expected seqno shows up.
+// The sender emits seqnos in order, so whenever next blocks on the
+// channel, every stripe is either delivering or idle — the window stays
+// bounded by the senders' in-flight data, with maxStripeHold as the
+// corruption backstop.
+type stripeSource struct {
+	sess *stripeSession
+	hold map[int64]*proto.Packet
+	want int64
+}
+
+func newStripeSource(sess *stripeSession) *stripeSource {
+	return &stripeSource{sess: sess, hold: make(map[int64]*proto.Packet)}
+}
+
+func (s *stripeSource) next() (*proto.Packet, error) {
+	for {
+		if p, ok := s.hold[s.want]; ok {
+			delete(s.hold, s.want)
+			s.want++
+			return p, nil
+		}
+		select {
+		case p := <-s.sess.ch:
+			if p.Seqno < s.want || s.hold[p.Seqno] != nil {
+				seq := p.Seqno
+				p.Release()
+				s.release()
+				return nil, fmt.Errorf("datanode: duplicate stripe seqno %d (want %d)", seq, s.want)
+			}
+			if len(s.hold) >= maxStripeHold {
+				p.Release()
+				s.release()
+				return nil, errors.New("datanode: stripe reorder window overflow")
+			}
+			s.hold[p.Seqno] = p
+		case <-s.sess.errCh:
+			s.release()
+			return nil, s.sess.err
+		case <-s.sess.done:
+			s.release()
+			return nil, errors.New("datanode: stripe session closed")
+		}
+	}
+}
+
+// release drops every held packet; called once the source errors.
+func (s *stripeSource) release() {
+	for seq, p := range s.hold {
+		p.Release()
+		delete(s.hold, seq)
+	}
+}

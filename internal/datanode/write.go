@@ -1,12 +1,15 @@
 package datanode
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/checksum"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/storage"
 )
 
 // ackSender serializes ack writes to the upstream connection: the
@@ -41,14 +44,38 @@ type localStatus struct {
 // On the pipeline's first datanode in SMARTH mode, committing the block
 // locally triggers the FNFA upstream immediately, regardless of how far
 // the mirrors have drained.
+//
+// For a striped write (hdr.Stripes > 1) this handler serves the primary
+// stripe: it registers the session the join conns attach to — before the
+// header ack, so joins dialed after the ack always find it — and its
+// receiver drains the seqno-reordered merge of all stripes instead of
+// the upstream conn directly. Everything downstream of reassembly is
+// the unstriped path.
 func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 	sender := &ackSender{pc: up, ctr: dn.mAcksSent}
 
+	var sess *stripeSession
+	if hdr.Stripes > 1 {
+		s, err := dn.registerStripe(hdr)
+		if err != nil {
+			dn.opts.Logf("datanode %s: %v", dn.opts.Name, err)
+			_ = sender.send(&proto.Ack{Kind: proto.AckHeader, Seqno: -1,
+				Statuses: []proto.Status{proto.StatusError}})
+			return
+		}
+		sess = s
+		defer func() {
+			dn.unregisterStripe(hdr)
+			sess.finish()
+		}()
+	}
+
 	// --- pipeline setup: connect the mirror chain, then ack the header ---
-	var mirror *proto.Conn
+	var mirror *proto.Conn         // primary mirror conn: acks flow back on it
+	var mirrorW proto.PacketWriter // packet fan-out: mirror itself, or a stripe set
 	setupStatuses := make([]proto.Status, 1+len(hdr.Targets))
 	if len(hdr.Targets) > 0 {
-		m, downstream, err := dn.connectMirror(hdr)
+		mw, m, downstream, err := dn.connectMirror(hdr)
 		if err != nil {
 			dn.opts.Logf("datanode %s: mirror %s: %v", dn.opts.Name, hdr.Targets[0].Name, err)
 			for i := 1; i < len(setupStatuses); i++ {
@@ -56,7 +83,7 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 			}
 		} else {
 			copy(setupStatuses[1:], downstream)
-			mirror = m
+			mirror, mirrorW = m, mw
 		}
 	}
 
@@ -66,12 +93,15 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 		setupStatuses[0] = proto.StatusError
 	} else {
 		defer w.Close() // aborts the temp replica unless committed
+		if h, ok := w.(storage.SizeHinter); ok && hdr.BlockBytes > 0 {
+			h.SizeHint(hdr.BlockBytes)
+		}
 	}
 
 	headerAck := &proto.Ack{Kind: proto.AckHeader, Seqno: -1, Statuses: setupStatuses}
 	if sender.send(headerAck) != nil || !headerAck.OK() {
-		if mirror != nil {
-			mirror.Close()
+		if mirrorW != nil {
+			mirrorW.Close()
 		}
 		return // the client rebuilds the pipeline (Algorithm 3)
 	}
@@ -85,11 +115,38 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 		abortOnce.Do(func() {
 			close(done)
 			queue.breakNow()
-			if mirror != nil {
-				mirror.Close()
+			if mirrorW != nil {
+				mirrorW.Close()
+			}
+			if sess != nil {
+				sess.fail(errPipelineAborted)
+				sess.finish()
 			}
 			up.Close()
 		})
+	}
+
+	// --- striped ingest: merge every stripe into seqno order ---
+	var src packetSource = connSource{pc: up}
+	if sess != nil {
+		// The primary stripe becomes just another feeder; the receiver
+		// drains the reordering merge instead. Reading up here and
+		// writing acks to it from the responder is the usual
+		// one-reader-one-writer conn discipline.
+		go func() {
+			for {
+				p, rerr := up.ReadPacket()
+				if rerr != nil {
+					sess.fail(rerr)
+					return
+				}
+				last := p.Last
+				if !sess.push(p) || last {
+					return
+				}
+			}
+		}()
+		src = newStripeSource(sess)
 	}
 
 	statusCh := make(chan localStatus, 4096)
@@ -104,15 +161,15 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 			// reach the wire when it fills or on the Last packet. The
 			// reverse ack channel is a separate conn, so nothing
 			// latency-sensitive sits behind the cork.
-			_ = mirror.SetCork(true)
+			_ = mirrorW.SetCork(true)
 			for {
 				pkt, ok := queue.pop()
 				if !ok {
 					// Drained (or broken): push out anything still corked.
-					_ = mirror.Flush()
+					_ = mirrorW.Flush()
 					return
 				}
-				err := mirror.WritePacket(pkt)
+				err := mirrorW.WritePacket(pkt)
 				pkt.Release()
 				if err != nil {
 					abort()
@@ -191,60 +248,104 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 	}()
 
 	// --- receiver (this goroutine) ---
-	dn.receiveLoop(up, hdr, w, mirror != nil, queue, statusCh, sender, done, abort)
+	dn.receiveLoop(src, hdr, w, mirror != nil, queue, statusCh, sender, done, abort)
 
 	queue.close()
 	wg.Wait()
-	if mirror != nil {
-		mirror.Close()
+	if mirrorW != nil {
+		mirrorW.Close()
 	}
 }
 
 // connectMirror dials the next datanode, forwards the header with this
-// hop stripped, and waits for the downstream setup ack.
-func (dn *Datanode) connectMirror(hdr *proto.WriteBlockHeader) (*proto.Conn, []proto.Status, error) {
+// hop stripped, and waits for the downstream setup ack. With striping,
+// the block is re-striped hop by hop: after the primary mirror conn is
+// set up, Stripes-1 further conns join the downstream session, and the
+// returned PacketWriter fans packets across them; acks still ride only
+// the returned primary conn.
+func (dn *Datanode) connectMirror(hdr *proto.WriteBlockHeader) (proto.PacketWriter, *proto.Conn, []proto.Status, error) {
 	next := hdr.Targets[0]
-	conn, err := dn.opts.Network.Dial(dn.opts.Name, next.Addr)
-	if err != nil {
-		return nil, nil, err
-	}
-	m := proto.NewConn(conn)
-	dn.armConn(m)
 	fwd := &proto.WriteBlockHeader{
-		Block:   hdr.Block,
-		Targets: hdr.Targets[1:],
-		Client:  hdr.Client,
-		Mode:    hdr.Mode,
-		Depth:   hdr.Depth + 1,
+		Block:      hdr.Block,
+		Targets:    hdr.Targets[1:],
+		Client:     hdr.Client,
+		Mode:       hdr.Mode,
+		Depth:      hdr.Depth + 1,
+		Stripes:    hdr.Stripes,
+		StripeID:   0,
+		BlockBytes: hdr.BlockBytes,
 	}
-	if err := m.WriteHeader(proto.OpWriteBlock, fwd); err != nil {
-		m.Close()
-		return nil, nil, err
-	}
-	ack, err := m.ReadAck()
-	if err != nil || ack.Kind != proto.AckHeader {
-		m.Close()
-		return nil, nil, err
+	m, ack, err := dn.dialStripe(next.Addr, fwd)
+	if err != nil {
+		return nil, nil, nil, err
 	}
 	// ack is conn-owned scratch; copy the statuses we return. Once per
 	// pipeline, so off the hot path.
 	sts := append([]proto.Status(nil), ack.Statuses...)
 	if !ack.OK() {
 		m.Close()
-		return nil, sts, errSetupFailed
+		return nil, nil, sts, errSetupFailed
 	}
-	return m, sts, nil
+	if hdr.Stripes <= 1 {
+		return m, m, sts, nil
+	}
+	conns := make([]*proto.Conn, 1, hdr.Stripes)
+	conns[0] = m
+	for k := uint8(1); k < hdr.Stripes; k++ {
+		fwd.StripeID = k
+		sc, sack, serr := dn.dialStripe(next.Addr, fwd)
+		if serr == nil && !sack.OK() {
+			sc.Close()
+			serr = errSetupFailed
+		}
+		if serr != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, nil, nil, fmt.Errorf("mirror stripe %d: %w", k, serr)
+		}
+		conns = append(conns, sc)
+	}
+	return proto.NewStripeSet(conns...), m, sts, nil
 }
 
-var errSetupFailed = &setupError{}
+// dialStripe opens one mirror conn, sends hdr, and reads the setup ack
+// (conn-owned; the caller copies what it keeps).
+func (dn *Datanode) dialStripe(addr string, hdr *proto.WriteBlockHeader) (*proto.Conn, *proto.Ack, error) {
+	conn, err := dn.opts.Network.Dial(dn.opts.Name, addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := proto.NewConn(conn)
+	dn.armConn(m)
+	if err := m.WriteHeader(proto.OpWriteBlock, hdr); err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	ack, err := m.ReadAck()
+	if err == nil && ack.Kind != proto.AckHeader {
+		err = fmt.Errorf("datanode: unexpected %v ack during mirror setup", ack.Kind)
+	}
+	if err != nil {
+		m.Close()
+		return nil, nil, err
+	}
+	return m, ack, nil
+}
+
+var (
+	errSetupFailed     = &setupError{}
+	errPipelineAborted = errors.New("datanode: pipeline aborted")
+)
 
 type setupError struct{}
 
 func (*setupError) Error() string { return "datanode: downstream pipeline setup failed" }
 
-// receiveLoop ingests packets until the last packet, an error, or abort.
+// receiveLoop ingests packets — from one conn or a reordered stripe
+// merge, per src — until the last packet, an error, or abort.
 func (dn *Datanode) receiveLoop(
-	up *proto.Conn,
+	src packetSource,
 	hdr *proto.WriteBlockHeader,
 	w interface {
 		Write([]byte) (int, error)
@@ -260,7 +361,7 @@ func (dn *Datanode) receiveLoop(
 	defer close(statusCh)
 	var received int64
 	for {
-		pkt, err := up.ReadPacket()
+		pkt, err := src.next()
 		if err != nil {
 			abort()
 			return

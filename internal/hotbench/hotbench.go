@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"testing"
 
 	"repro/internal/checksum"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -146,11 +148,7 @@ func LiveWriteObs(b *testing.B, mode proto.WriteMode, fileBytes int64, o *obs.Ob
 		Overwrite:   true,
 	}
 	cbuf := make([]byte, 64<<10)
-	b.SetBytes(fileBytes)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		path := fmt.Sprintf("/hotbench/%s/%d", mode, i)
+	upload := func(path string) {
 		var w client.Writer
 		if mode == proto.ModeSmarth {
 			w, err = cl.CreateSmarth(path, opts)
@@ -166,6 +164,165 @@ func LiveWriteObs(b *testing.B, mode proto.WriteMode, fileBytes int64, o *obs.Ob
 		if err := w.Close(); err != nil {
 			b.Fatal(err)
 		}
+	}
+	upload(fmt.Sprintf("/hotbench/%s/warmup", mode)) // warm the buffer pools untimed
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upload(fmt.Sprintf("/hotbench/%s/%d", mode, i))
+	}
+}
+
+// LiveWriteTCP is LiveWrite on real loopback TCP sockets instead of the
+// in-memory transport: kernel socket buffers, writev batching, and
+// adaptive corking are all in play. repl sets the replication factor
+// (1 isolates single-hop protocol overhead against RawCopyTCP, which
+// moves each byte across the loopback exactly once; 3 is the paper's
+// pipeline). stripes > 1 fans each pipeline hop over that many conns.
+// Blocks are 8 MB so the 64 MB upload spans several pipelines without
+// being dominated by setup.
+func LiveWriteTCP(b *testing.B, mode proto.WriteMode, fileBytes int64, repl, stripes int) {
+	c, err := cluster.StartTCP(cluster.Config{NumDatanodes: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient("hotbench-tcp-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	opts := client.WriteOptions{
+		Replication: repl,
+		BlockSize:   8 << 20,
+		PacketSize:  64 << 10,
+		Stripes:     stripes,
+		Overwrite:   true,
+	}
+	cbuf := make([]byte, 64<<10)
+	upload := func(path string) {
+		var w client.Writer
+		if mode == proto.ModeSmarth {
+			w, err = cl.CreateSmarth(path, opts)
+		} else {
+			w, err = cl.CreateHDFS(path, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := io.CopyBuffer(struct{ io.Writer }{w}, workload.NewReader(1, fileBytes), cbuf); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	upload(fmt.Sprintf("/hotbench-tcp/%s/warmup", mode)) // warm the buffer pools untimed
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		upload(fmt.Sprintf("/hotbench-tcp/%s/%d", mode, i))
+	}
+}
+
+// LiveReadTCP is LiveRead on real loopback TCP sockets. The file is
+// written once (replication 3, 8 MB blocks) outside the timed region.
+func LiveReadTCP(b *testing.B, ro client.ReadOptions, fileBytes int64) {
+	c, err := cluster.StartTCP(cluster.Config{NumDatanodes: 3, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Stop()
+	cl, err := c.NewClient("hotbench-tcp-client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	w, err := cl.CreateSmarth("/hotbench-tcp/read", client.WriteOptions{
+		Replication: 3,
+		BlockSize:   8 << 20,
+		PacketSize:  64 << 10,
+		Overwrite:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cbuf := make([]byte, 64<<10)
+	if _, err := io.CopyBuffer(struct{ io.Writer }{w}, workload.NewReader(1, fileBytes), cbuf); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := cl.OpenWith("/hotbench-tcp/read", ro)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.CopyBuffer(struct{ io.Writer }{io.Discard}, r, cbuf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != fileBytes {
+			b.Fatalf("read %d bytes, want %d", n, fileBytes)
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// RawCopyTCP is the reference ceiling for the TCP benchmarks: fileBytes
+// pushed through one loopback socket pair with io.CopyBuffer and no
+// protocol at all, using the same socket tuning the transport applies
+// (1 MB kernel buffers, TCP_NODELAY). Every protocol benchmark pays at
+// least this much per hop; LiveWriteTCP at replication 1 divided by
+// this number is the write path's framing + checksum overhead.
+func RawCopyTCP(b *testing.B, fileBytes int64) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	drained := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			drained <- err
+			return
+		}
+		_, err = io.Copy(io.Discard, c)
+		c.Close()
+		drained <- err
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		t := transport.DefaultTCPTuning
+		_ = tc.SetReadBuffer(t.ReadBuffer)
+		_ = tc.SetWriteBuffer(t.WriteBuffer)
+		_ = tc.SetNoDelay(!t.DisableNoDelay)
+	}
+	cbuf := make([]byte, 64<<10)
+	b.SetBytes(fileBytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := io.CopyBuffer(struct{ io.Writer }{conn}, workload.NewReader(1, fileBytes), cbuf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	conn.Close()
+	if err := <-drained; err != nil {
+		b.Fatal(err)
 	}
 }
 

@@ -1,0 +1,115 @@
+package proto
+
+import "time"
+
+// PacketWriter is the send half of a block data stream: one framed conn,
+// or a StripeSet fanning packets over several. Both ends of a pipeline
+// hop write through this interface so striping stays invisible to the
+// packet loop.
+type PacketWriter interface {
+	WritePacket(*Packet) error
+	SetCork(on bool) error
+	SetAutoCork(bytes int, delay time.Duration)
+	Flush() error
+	Close() error
+}
+
+var (
+	_ PacketWriter = (*Conn)(nil)
+	_ PacketWriter = (*StripeSet)(nil)
+)
+
+// StripeSet fans one block's packets out over N parallel conns to the
+// same peer: packet seqno s rides conn s % N, and the receiver
+// reassembles in seqno order. Conn 0 is the primary — the conn that
+// carried the StripeID-0 header and the only one carrying acks back —
+// so ReadAck-side traffic keeps using Primary() directly.
+//
+// Like Conn's write half, a StripeSet belongs to a single writing
+// goroutine.
+type StripeSet struct {
+	conns []*Conn
+}
+
+// NewStripeSet builds a striped writer over conns; conns[0] is the
+// primary. At least one conn is required.
+func NewStripeSet(conns ...*Conn) *StripeSet {
+	if len(conns) == 0 {
+		panic("proto: NewStripeSet needs at least one conn")
+	}
+	return &StripeSet{conns: conns}
+}
+
+// Primary returns the stripe-0 conn (header, acks, FNFA).
+func (s *StripeSet) Primary() *Conn { return s.conns[0] }
+
+// Stripes returns the stripe count.
+func (s *StripeSet) Stripes() int { return len(s.conns) }
+
+// WritePacket sends p on its stripe. The receiver can only finish the
+// block after every earlier seqno arrived, so a Last packet first
+// flushes the other stripes — nothing corked may outlive the block.
+func (s *StripeSet) WritePacket(p *Packet) error {
+	i := int(p.Seqno % int64(len(s.conns)))
+	if i < 0 {
+		i += len(s.conns)
+	}
+	if p.Last {
+		for j, c := range s.conns {
+			if j == i {
+				continue
+			}
+			if err := c.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return s.conns[i].WritePacket(p)
+}
+
+// SetCork corks (or uncorks, flushing) every stripe.
+func (s *StripeSet) SetCork(on bool) error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.SetCork(on); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetAutoCork tunes the adaptive cork thresholds on every stripe.
+func (s *StripeSet) SetAutoCork(bytes int, delay time.Duration) {
+	for _, c := range s.conns {
+		c.SetAutoCork(bytes, delay)
+	}
+}
+
+// Flush pushes pending bytes on every stripe.
+func (s *StripeSet) Flush() error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SetWriteTimeout bounds each frame write on every stripe.
+func (s *StripeSet) SetWriteTimeout(d time.Duration) {
+	for _, c := range s.conns {
+		c.SetWriteTimeout(d)
+	}
+}
+
+// Close closes every stripe conn, returning the first error.
+func (s *StripeSet) Close() error {
+	var first error
+	for _, c := range s.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

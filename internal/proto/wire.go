@@ -5,7 +5,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -29,21 +31,162 @@ type deadlineSetter interface {
 	SetWriteDeadline(t time.Time) error
 }
 
+// buffersWriter is implemented by streams that can emit a vector of
+// buffers in one gather call (writev on the TCP substrate). The frame
+// writer duck-types on it at flush time; streams without it get
+// sequential writes, which is behaviorally identical.
+type buffersWriter interface {
+	WriteBuffers(*net.Buffers) (int64, error)
+}
+
+const (
+	// borrowMin is the smallest frame tail worth sending as its own
+	// write vector. Tails at least this large are borrowed (zero-copy)
+	// and force a flush before writeFrame returns, which is what keeps
+	// WritePacket's "never retains any field" contract true; smaller
+	// tails are copied into the staging buffer so tiny frames coalesce.
+	borrowMin = 4 << 10
+
+	// defaultCorkBytes is the pending-byte threshold at which a corked
+	// conn flushes anyway (see SetAutoCork). Matches the write-buffer
+	// size the pre-vectored implementation flushed at.
+	defaultCorkBytes = 128 << 10
+
+	// directReadMin is the smallest body remainder read straight from
+	// the underlying stream instead of through the read buffer, skipping
+	// one copy. Below it, going through bufio is cheaper than a syscall.
+	directReadMin = 512
+
+	// readBufSize sizes the buffered reader. It only needs to cover
+	// frame prefixes and small control frames (headers, acks, packet
+	// headers plus checksums); packet payloads scatter straight into
+	// pooled frame buffers via readBody.
+	readBufSize = 8 << 10
+)
+
+// wspan is one pending write vector: either a range of frameWriter.stage
+// (ext nil) or a borrowed external buffer. Stage spans hold offsets, not
+// slices, so stage may reallocate while spans are pending.
+type wspan struct {
+	ext      []byte
+	off, end int
+}
+
+// frameWriter accumulates frames as write vectors and emits them in one
+// gather write per flush. Small byte runs are copied into stage (adjacent
+// runs merge into one span); large payloads are borrowed and flushed
+// before the caller regains ownership.
+type frameWriter struct {
+	w  io.Writer
+	bw buffersWriter // non-nil when w supports gather writes
+
+	stage   []byte
+	spans   []wspan
+	pending int
+
+	vecs   [][]byte    // flush scratch; cleared of refs after use
+	gather net.Buffers // header handed to WriteBuffers, which advances it
+}
+
+// stageBytes copies p into the staging buffer, merging with the previous
+// span when contiguous.
+func (f *frameWriter) stageBytes(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	off := len(f.stage)
+	f.stage = append(f.stage, p...)
+	if n := len(f.spans); n > 0 && f.spans[n-1].ext == nil && f.spans[n-1].end == off {
+		f.spans[n-1].end = len(f.stage)
+	} else {
+		f.spans = append(f.spans, wspan{off: off, end: len(f.stage)})
+	}
+	f.pending += len(p)
+}
+
+// borrow appends p as its own vector without copying. The caller must
+// flush before p's owner may reuse it.
+func (f *frameWriter) borrow(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	f.spans = append(f.spans, wspan{ext: p})
+	f.pending += len(p)
+}
+
+// flush writes every pending span — one writev when the stream supports
+// gather writes, sequential writes otherwise — and resets the writer.
+// External buffer references are dropped either way.
+func (f *frameWriter) flush() error {
+	if len(f.spans) == 0 {
+		return nil
+	}
+	f.vecs = f.vecs[:0]
+	for _, s := range f.spans {
+		if s.ext != nil {
+			f.vecs = append(f.vecs, s.ext)
+		} else {
+			f.vecs = append(f.vecs, f.stage[s.off:s.end])
+		}
+	}
+	var err error
+	if f.bw != nil && len(f.vecs) > 1 {
+		// Hand WriteBuffers its own slice header: it advances (and may
+		// re-slice entries of) whatever it is given, and f.vecs must keep
+		// spanning the whole backing array so the cleanup below sees every
+		// entry.
+		f.gather = f.vecs
+		_, err = f.bw.WriteBuffers(&f.gather)
+		f.gather = nil
+	} else {
+		for _, v := range f.vecs {
+			if _, werr := f.w.Write(v); werr != nil {
+				err = werr
+				break
+			}
+		}
+	}
+	// Drop payload references: pending borrowed buffers must not outlive
+	// the flush (their owners recycle them).
+	for i := range f.vecs {
+		f.vecs[i] = nil
+	}
+	f.vecs = f.vecs[:0]
+	f.spans = f.spans[:0]
+	f.stage = f.stage[:0]
+	f.pending = 0
+	return err
+}
+
+// clockBox wraps a clock so it can live in an atomic.Pointer (interfaces
+// of differing concrete types cannot be stored in atomic.Value directly).
+type clockBox struct{ c clock.Clock }
+
+var systemClockBox = &clockBox{clock.System}
+
 // Conn wraps a stream with buffered, frame-oriented message I/O. It is
 // safe for one concurrent reader and one concurrent writer, which matches
 // pipeline usage (packets flow one way, acks the other on a second Conn).
 type Conn struct {
-	r *bufio.Reader
-	w *bufio.Writer
-	c io.Closer
-	d deadlineSetter
+	r   *bufio.Reader
+	raw io.ReadWriter // underlying stream, for scatter body reads
+	fw  frameWriter
+	c   io.Closer
+	d   deadlineSetter
 
-	// corked suppresses the per-data-packet flush; see SetCork. Owned by
-	// the writing side, like w. whdr/rhdr are length-prefix scratch —
-	// fields rather than locals so they don't escape per frame.
-	corked bool
-	whdr   [4]byte
-	rhdr   [4]byte
+	// Cork state; owned by the writing side, like fw. corked suppresses
+	// the per-data-packet flush; corkBytes/corkDelay are the adaptive
+	// flush thresholds (see SetAutoCork); corkFirst stamps the oldest
+	// pending frame (tracked only when corkDelay > 0).
+	corked    bool
+	corkBytes int
+	corkDelay time.Duration
+	corkFirst time.Time
+
+	// whdr/rhdr are length-prefix scratch — fields rather than locals so
+	// they don't escape per frame.
+	whdr [4]byte
+	rhdr [4]byte
 
 	// ack and ackStatuses back the *Ack returned by ReadAck, so the
 	// per-packet ack stream decodes without allocating. Owned by the
@@ -56,36 +199,43 @@ type Conn struct {
 	// allocation-free, so metrics may stay attached on the hot path.
 	metrics *obs.ConnMetrics
 
-	mu       sync.Mutex
-	clk      clock.Clock
-	rTimeout time.Duration
-	wTimeout time.Duration
+	// Timeouts and the clock are atomics, not mutex-guarded: both the
+	// reader and the writer consult them on every frame, and a watchdog
+	// may retune them concurrently.
+	clk      atomic.Pointer[clockBox]
+	rTimeout atomic.Int64 // nanoseconds; <= 0 disabled
+	wTimeout atomic.Int64
 }
 
 // NewConn wraps rw. If rw is an io.Closer, Close closes it; if it
-// supports deadlines, per-operation timeouts become available.
+// supports deadlines, per-operation timeouts become available; if it
+// supports gather writes (WriteBuffers), frames go out as one writev.
 func NewConn(rw io.ReadWriter) *Conn {
 	c, _ := rw.(io.Closer)
 	d, _ := rw.(deadlineSetter)
-	return &Conn{
-		r:   bufio.NewReaderSize(rw, 128<<10),
-		w:   bufio.NewWriterSize(rw, 128<<10),
+	bw, _ := rw.(buffersWriter)
+	cn := &Conn{
+		r:   bufio.NewReaderSize(rw, readBufSize),
+		raw: rw,
+		fw:  frameWriter{w: rw, bw: bw},
 		c:   c,
 		d:   d,
-		clk: clock.System,
 	}
+	cn.clk.Store(systemClockBox)
+	return cn
 }
 
 // SetClock replaces the clock used to compute operation deadlines (for
 // virtual-time runs). nil restores the system clock.
 func (c *Conn) SetClock(clk clock.Clock) {
 	if clk == nil {
-		clk = clock.System
+		c.clk.Store(systemClockBox)
+		return
 	}
-	c.mu.Lock()
-	c.clk = clk
-	c.mu.Unlock()
+	c.clk.Store(&clockBox{clk})
 }
+
+func (c *Conn) clock() clock.Clock { return c.clk.Load().c }
 
 // SetReadTimeout bounds each subsequent frame read (header, packet or
 // ack): the deadline is re-armed per operation, so it is a progress
@@ -95,9 +245,7 @@ func (c *Conn) SetReadTimeout(d time.Duration) {
 	if c.d == nil {
 		return
 	}
-	c.mu.Lock()
-	c.rTimeout = d
-	c.mu.Unlock()
+	c.rTimeout.Store(int64(d))
 	if d <= 0 {
 		c.d.SetReadDeadline(time.Time{})
 	}
@@ -109,9 +257,7 @@ func (c *Conn) SetWriteTimeout(d time.Duration) {
 	if c.d == nil {
 		return
 	}
-	c.mu.Lock()
-	c.wTimeout = d
-	c.mu.Unlock()
+	c.wTimeout.Store(int64(d))
 	if d <= 0 {
 		c.d.SetWriteDeadline(time.Time{})
 	}
@@ -122,11 +268,8 @@ func (c *Conn) armRead() {
 	if c.d == nil {
 		return
 	}
-	c.mu.Lock()
-	d, clk := c.rTimeout, c.clk
-	c.mu.Unlock()
-	if d > 0 {
-		c.d.SetReadDeadline(clk.Now().Add(d))
+	if d := time.Duration(c.rTimeout.Load()); d > 0 {
+		c.d.SetReadDeadline(c.clock().Now().Add(d))
 	}
 }
 
@@ -135,11 +278,8 @@ func (c *Conn) armWrite() {
 	if c.d == nil {
 		return
 	}
-	c.mu.Lock()
-	d, clk := c.wTimeout, c.clk
-	c.mu.Unlock()
-	if d > 0 {
-		c.d.SetWriteDeadline(clk.Now().Add(d))
+	if d := time.Duration(c.wTimeout.Load()); d > 0 {
+		c.d.SetWriteDeadline(c.clock().Now().Add(d))
 	}
 }
 
@@ -158,12 +298,15 @@ func (c *Conn) Close() error {
 }
 
 // Flush forces buffered writes onto the wire.
-func (c *Conn) Flush() error { return c.w.Flush() }
+func (c *Conn) Flush() error { return c.flushPending() }
 
 // SetCork toggles corked output. While corked, data packets are not
-// flushed per frame: bytes reach the wire when the write buffer fills,
-// when a Last packet is written, or on an explicit Flush. Headers and
-// acks always flush eagerly regardless — they are latency-sensitive
+// flushed per frame: small frames accumulate and reach the wire when the
+// adaptive thresholds fire (see SetAutoCork), when a Last packet is
+// written, or on an explicit Flush. Large packet payloads always flush —
+// they are borrowed zero-copy and must not outlive WritePacket — so the
+// cork only ever delays cheap-to-buffer control-sized frames. Headers
+// and acks always flush eagerly regardless: they are latency-sensitive
 // control traffic (pipeline setup, per-packet acks, the FNFA) that must
 // never sit behind a cork. Uncorking flushes whatever is pending.
 //
@@ -172,48 +315,134 @@ func (c *Conn) Flush() error { return c.w.Flush() }
 func (c *Conn) SetCork(on bool) error {
 	c.corked = on
 	if !on {
-		return c.w.Flush()
+		return c.flushPending()
 	}
 	return nil
 }
 
-// writeFrame emits one length-prefixed frame whose payload is the
-// concatenation of head and tail (either may be empty). Splitting the
-// frame into two vectors lets WritePacket send its encoded header and
-// checksums from a small pooled scratch while the 64 KB payload flows
-// straight from the caller's buffer, never memcpy'd into a frame.
-// flush=false leaves the frame in the buffer (corked packet traffic).
+// SetAutoCork tunes the corked flush policy: a corked conn flushes once
+// at least bytes are pending (0 selects the 128 KiB default), or — when
+// delay > 0 — once the oldest pending frame has waited delay, whichever
+// comes first. The age check piggybacks on writeFrame (the conn has no
+// timer goroutine), so delay is a bound on added latency per burst, not
+// a standalone flush tick. Belongs to the writing goroutine, like
+// SetCork.
+func (c *Conn) SetAutoCork(bytes int, delay time.Duration) {
+	c.corkBytes = bytes
+	c.corkDelay = delay
+}
+
+// corkDue reports whether the corked backlog must flush now (size or age
+// threshold crossed), maintaining the age stamp.
+func (c *Conn) corkDue() bool {
+	limit := c.corkBytes
+	if limit <= 0 {
+		limit = defaultCorkBytes
+	}
+	if c.fw.pending >= limit {
+		return true
+	}
+	if c.corkDelay > 0 {
+		now := c.clock().Now()
+		if c.corkFirst.IsZero() {
+			c.corkFirst = now
+		} else if now.Sub(c.corkFirst) >= c.corkDelay {
+			return true
+		}
+	}
+	return false
+}
+
+// flushPending arms the write deadline and pushes every pending span to
+// the wire in one gather write.
+func (c *Conn) flushPending() error {
+	if c.fw.pending == 0 && len(c.fw.spans) == 0 {
+		return nil
+	}
+	c.armWrite()
+	c.corkFirst = time.Time{}
+	return c.fw.flush()
+}
+
+// writeFrame stages one length-prefixed frame whose payload is the
+// concatenation of head and tail (either may be empty). head is copied
+// into the staging buffer; a tail of borrowMin or more rides as its own
+// write vector straight from the caller's buffer, never memcpy'd, at the
+// cost of an immediate flush (the caller owns tail again when we
+// return). flush=false leaves small frames pending (corked packet
+// traffic) unless the adaptive cork thresholds say otherwise.
 func (c *Conn) writeFrame(head, tail []byte, flush bool) error {
 	n := len(head) + len(tail)
 	if n > MaxFrame {
 		return fmt.Errorf("proto: frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
-	c.armWrite()
 	binary.BigEndian.PutUint32(c.whdr[:], uint32(n))
-	if _, err := c.w.Write(c.whdr[:]); err != nil {
-		return err
-	}
-	if _, err := c.w.Write(head); err != nil {
-		return err
-	}
-	if len(tail) > 0 {
-		if _, err := c.w.Write(tail); err != nil {
-			return err
-		}
+	c.fw.stageBytes(c.whdr[:])
+	c.fw.stageBytes(head)
+	borrowed := len(tail) >= borrowMin
+	if borrowed {
+		c.fw.borrow(tail)
+	} else {
+		c.fw.stageBytes(tail)
 	}
 	if m := c.metrics; m != nil {
 		m.FramesOut.Inc()
 		m.BytesOut.Add(int64(4 + n))
-		if flush {
-			m.Flushes.Inc()
-		} else {
+	}
+	if !flush && !borrowed && !c.corkDue() {
+		if m := c.metrics; m != nil {
 			m.CorkedFrames.Inc()
 		}
-	}
-	if !flush {
 		return nil
 	}
-	return c.w.Flush()
+	if m := c.metrics; m != nil {
+		m.Flushes.Inc()
+	}
+	return c.flushPending()
+}
+
+// readBody scatter-fills dst with the current frame's body: buffered
+// bytes drain first, then large remainders read straight from the
+// underlying stream into dst (one copy, no bufio detour). EOF after the
+// frame prefix is torn-frame corruption, surfaced as ErrUnexpectedEOF
+// once any body byte arrived (matching io.ReadFull).
+func (c *Conn) readBody(dst []byte) error {
+	got := 0
+	for got < len(dst) {
+		if b := c.r.Buffered(); b > 0 {
+			m := len(dst) - got
+			if m > b {
+				m = b
+			}
+			k, err := c.r.Read(dst[got : got+m])
+			got += k
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		rest := dst[got:]
+		if len(rest) >= directReadMin {
+			k, err := c.raw.Read(rest)
+			got += k
+			if err != nil {
+				if err == io.EOF && got > 0 {
+					err = io.ErrUnexpectedEOF
+				}
+				return err
+			}
+			continue
+		}
+		k, err := io.ReadFull(c.r, rest)
+		got += k
+		if err != nil {
+			if err == io.EOF && got > 0 {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
 }
 
 // readFrame reads one length-prefixed frame into a pooled buffer. The
@@ -229,7 +458,7 @@ func (c *Conn) readFrame() (*[]byte, error) {
 		return nil, fmt.Errorf("proto: incoming frame of %d bytes exceeds max %d", n, MaxFrame)
 	}
 	fr := bufpool.Get(int(n))
-	if _, err := io.ReadFull(c.r, *fr); err != nil {
+	if err := c.readBody(*fr); err != nil {
 		bufpool.Put(fr)
 		return nil, err
 	}
@@ -306,7 +535,7 @@ func consumeDatanode(src []byte) (block.DatanodeInfo, []byte, error) {
 func (c *Conn) WriteHeader(op Op, h any) error {
 	// Pre-size the encode scratch so headers with long target lists never
 	// grow mid-append; the buffer itself is pooled.
-	need := 2 + 24 + 2 + 2 + 16
+	need := 2 + 24 + 4 + 8 + 2 + 16
 	if wh, ok := h.(*WriteBlockHeader); ok {
 		need += len(wh.Client)
 		for _, t := range wh.Targets {
@@ -323,7 +552,8 @@ func (c *Conn) WriteHeader(op Op, h any) error {
 			return fmt.Errorf("proto: WriteHeader(%v) needs *WriteBlockHeader, got %T", op, h)
 		}
 		buf = appendBlock(buf, wh.Block)
-		buf = append(buf, byte(wh.Mode), wh.Depth)
+		buf = append(buf, byte(wh.Mode), wh.Depth, wh.Stripes, wh.StripeID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(wh.BlockBytes))
 		buf = appendString(buf, wh.Client)
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(wh.Targets)))
 		for _, t := range wh.Targets {
@@ -367,12 +597,28 @@ func (c *Conn) ReadHeader() (Op, any, error) {
 		if wh.Block, rest, err = consumeBlock(rest); err != nil {
 			return op, nil, err
 		}
-		if len(rest) < 2 {
+		if len(rest) < 4 {
 			return op, nil, io.ErrUnexpectedEOF
 		}
 		wh.Mode = WriteMode(rest[0])
 		wh.Depth = rest[1]
-		rest = rest[2:]
+		wh.Stripes = rest[2]
+		wh.StripeID = rest[3]
+		rest = rest[4:]
+		if wh.Stripes > MaxStripes {
+			return op, nil, fmt.Errorf("proto: %d stripes exceeds max %d", wh.Stripes, MaxStripes)
+		}
+		if wh.Stripes > 1 && wh.StripeID >= wh.Stripes {
+			return op, nil, fmt.Errorf("proto: stripe id %d out of range for %d stripes", wh.StripeID, wh.Stripes)
+		}
+		if len(rest) < 8 {
+			return op, nil, io.ErrUnexpectedEOF
+		}
+		wh.BlockBytes = int64(binary.BigEndian.Uint64(rest))
+		rest = rest[8:]
+		if wh.BlockBytes < 0 {
+			return op, nil, fmt.Errorf("proto: negative block size hint %d", wh.BlockBytes)
+		}
 		if wh.Client, rest, err = consumeString(rest); err != nil {
 			return op, nil, err
 		}
@@ -407,12 +653,14 @@ func (c *Conn) ReadHeader() (Op, any, error) {
 // --- packets ---
 
 // WritePacket frames and sends a data packet. Only the packet header and
-// checksums pass through a (pooled) scratch buffer; p.Data is written as
-// its own vector, so the payload is never copied into a frame. When both
-// RawSums and Sums are set, RawSums wins — a forwarding datanode re-emits
-// the wire bytes it received without re-encoding. The frame is flushed
-// unless the Conn is corked; a Last packet always flushes (the peer is
-// about to commit the block on it).
+// checksums pass through a (pooled) scratch buffer; p.Data rides as its
+// own write vector, so the payload is never copied into a frame — one
+// writev moves header, checksums, and payload together on streams with
+// gather support. When both RawSums and Sums are set, RawSums wins — a
+// forwarding datanode re-emits the wire bytes it received without
+// re-encoding. The frame is flushed unless the Conn is corked; a Last
+// packet always flushes (the peer is about to commit the block on it),
+// and so does any packet whose payload is borrowed rather than staged.
 func (c *Conn) WritePacket(p *Packet) error {
 	sumBytes := len(p.RawSums)
 	nSums := sumBytes / checksum.BytesPerChecksum

@@ -170,6 +170,18 @@ func NewWriter(w io.Writer, lims ...*Limiter) *Writer {
 	return &Writer{w: w, lims: lims}
 }
 
+// Limited reports whether any limiter is attached. An unlimited writer
+// is a pass-through, which callers exploit to take gather-write fast
+// paths that bypass the chunking loop.
+func (w *Writer) Limited() bool {
+	for _, l := range w.lims {
+		if l != nil {
+			return true
+		}
+	}
+	return false
+}
+
 func (w *Writer) Write(p []byte) (int, error) {
 	written := 0
 	for written < len(p) {

@@ -338,26 +338,71 @@ func (n *MemNetwork) Heal(addr string) {
 // TCP network
 // ---------------------------------------------------------------------
 
+// TCPTuning configures socket-level options applied to every dialed and
+// accepted connection. The zero value leaves the kernel defaults alone
+// (but still enables TCP_NODELAY); DefaultTCPTuning is what
+// NewTCPNetwork uses.
+type TCPTuning struct {
+	// ReadBuffer and WriteBuffer size SO_RCVBUF / SO_SNDBUF in bytes;
+	// 0 keeps the kernel default. Large buffers let one writer keep a
+	// fat or long link full (bandwidth-delay product).
+	ReadBuffer  int
+	WriteBuffer int
+	// DisableNoDelay keeps Nagle's algorithm. By default TCP_NODELAY is
+	// set: the proto layer already coalesces small frames behind its own
+	// adaptive cork, so kernel-side delay only adds ack-bound latency to
+	// pipeline setup and per-packet acks.
+	DisableNoDelay bool
+}
+
+// DefaultTCPTuning is the tuning NewTCPNetwork applies: 1 MiB socket
+// buffers each way and TCP_NODELAY on.
+var DefaultTCPTuning = TCPTuning{ReadBuffer: 1 << 20, WriteBuffer: 1 << 20}
+
+// apply sets the socket options on c when it is a real TCP socket.
+// Errors are ignored: tuning is best-effort and the conn works untuned.
+func (t TCPTuning) apply(c net.Conn) {
+	tc, ok := c.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	if t.ReadBuffer > 0 {
+		_ = tc.SetReadBuffer(t.ReadBuffer)
+	}
+	if t.WriteBuffer > 0 {
+		_ = tc.SetWriteBuffer(t.WriteBuffer)
+	}
+	_ = tc.SetNoDelay(!t.DisableNoDelay)
+}
+
 // TCPNetwork runs the protocol over real sockets. The LinkPolicy still
 // applies (limiters wrap the socket), so throttled experiments can run
 // over loopback too.
 type TCPNetwork struct {
 	policy LinkPolicy
+	tuning TCPTuning
 }
 
-// NewTCPNetwork returns a socket-backed Network (nil policy = unshaped).
+// NewTCPNetwork returns a socket-backed Network (nil policy = unshaped)
+// with DefaultTCPTuning applied to every conn.
 func NewTCPNetwork(policy LinkPolicy) *TCPNetwork {
+	return NewTCPNetworkTuned(policy, DefaultTCPTuning)
+}
+
+// NewTCPNetworkTuned returns a socket-backed Network with explicit
+// socket tuning (nil policy = unshaped).
+func NewTCPNetworkTuned(policy LinkPolicy, tuning TCPTuning) *TCPNetwork {
 	if policy == nil {
 		policy = UnshapedPolicy{}
 	}
-	return &TCPNetwork{policy: policy}
+	return &TCPNetwork{policy: policy, tuning: tuning}
 }
 
 type tcpConn struct {
 	net.Conn
 	local, remote string
 	r             io.Reader
-	w             io.Writer
+	w             *ratelimit.Writer
 }
 
 func (c *tcpConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
@@ -365,9 +410,34 @@ func (c *tcpConn) Write(p []byte) (int, error) { return c.w.Write(p) }
 func (c *tcpConn) LocalAddr() string           { return c.local }
 func (c *tcpConn) RemoteAddr() string          { return c.remote }
 
+// WriteBuffers emits the vectors in one gather call — writev directly
+// from the caller's buffers — when the link is unshaped. Shaped links
+// fall back to sequential rate-limited writes, preserving the limiter's
+// chunked pacing. Either way the whole vector is consumed on success.
+func (c *tcpConn) WriteBuffers(bufs *net.Buffers) (int64, error) {
+	if !c.w.Limited() {
+		return bufs.WriteTo(c.Conn)
+	}
+	var total int64
+	for len(*bufs) > 0 {
+		b := (*bufs)[0]
+		*bufs = (*bufs)[1:]
+		if len(b) == 0 {
+			continue
+		}
+		n, err := c.w.Write(b)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
 type tcpListener struct {
 	net.Listener
 	policy LinkPolicy
+	tuning TCPTuning
 	addr   string
 }
 
@@ -376,6 +446,7 @@ func (l *tcpListener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	l.tuning.apply(c)
 	remote := c.RemoteAddr().String()
 	lims, _ := l.policy.Limits(l.addr, remote)
 	return &tcpConn{
@@ -394,7 +465,7 @@ func (n *TCPNetwork) Listen(addr string) (Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &tcpListener{Listener: l, policy: n.policy, addr: l.Addr().String()}, nil
+	return &tcpListener{Listener: l, policy: n.policy, tuning: n.tuning, addr: l.Addr().String()}, nil
 }
 
 // Dial connects over TCP, shaping the outbound direction per the policy.
@@ -403,6 +474,7 @@ func (n *TCPNetwork) Dial(local, remote string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	n.tuning.apply(c)
 	lims, lat := n.policy.Limits(local, remote)
 	if lat > 0 {
 		time.Sleep(lat)

@@ -149,6 +149,11 @@ type Config struct {
 	StrictRetire bool
 	// MaxRecoveryAttempts defaults to DefaultMaxRecoveryAttempts.
 	MaxRecoveryAttempts int
+	// Stripes is the number of transport streams each pipeline hop fans
+	// a block over (see proto.WriteBlockHeader.Stripes). Values <= 1
+	// mean a single stream and leave the decision log untouched, so
+	// conformance runs are byte-identical with striping disabled.
+	Stripes int
 	// Seed fixes the Algorithm 2 swap randomness.
 	Seed int64
 	// SpeedOverride, when set, replaces measured FNFA samples.
@@ -250,6 +255,9 @@ func New(cfg Config, sub Substrate) *Engine {
 		recovering: -1,
 	}
 	e.logf("create path=%s mode=%v repl=%d cap=%d", cfg.Path, cfg.Mode, cfg.Replication, cfg.MaxPipelines)
+	if cfg.Stripes > 1 {
+		e.logf("stripes n=%d", cfg.Stripes)
+	}
 	return e
 }
 
