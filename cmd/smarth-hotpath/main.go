@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"testing"
@@ -47,6 +48,12 @@ type Result struct {
 	BPerOp      int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// Control-plane benchmarks (CtrlPlane*) report namenode throughput in
+	// logical operations per second and the client-observed addBlock
+	// latency quantiles instead of MB/s.
+	RPCsPerS      float64 `json:"rpcs_per_s,omitempty"`
+	AddBlockP50NS float64 `json:"addblock_p50_ns,omitempty"`
+	AddBlockP99NS float64 `json:"addblock_p99_ns,omitempty"`
 }
 
 // Report is the BENCH_hotpath.json document.
@@ -77,12 +84,17 @@ var reps = 3
 // than the live path it is the ceiling for. Pinning both to the same
 // iteration count makes the live/raw ratio a same-conditions
 // comparison.
-func runOnce(name string, fn func(b *testing.B), benchtime string) Result {
+func runOnce(name string, fn func(b *testing.B), benchtime string) (Result, bool) {
 	if benchtime != "" {
 		flag.Set("test.benchtime", benchtime)
 		defer flag.Set("test.benchtime", "1s")
 	}
 	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		// The benchmark body failed (b.Fatal). A zero result would poison
+		// the best-of merge with NaN ns/op and 0 B/op mins — skip the rep.
+		return Result{Name: name}, false
+	}
 	one := Result{
 		Name:        name,
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -92,7 +104,10 @@ func runOnce(name string, fn func(b *testing.B), benchtime string) Result {
 	if r.Bytes > 0 && r.T > 0 {
 		one.MBPerS = (float64(r.Bytes) * float64(r.N) / 1e6) / r.T.Seconds()
 	}
-	return one
+	one.RPCsPerS = r.Extra["rpcs/s"]
+	one.AddBlockP50NS = r.Extra["addblock-p50-ns"]
+	one.AddBlockP99NS = r.Extra["addblock-p99-ns"]
+	return one, true
 }
 
 // merge folds one repetition into the best-so-far result.
@@ -107,6 +122,13 @@ func merge(res *Result, one Result) {
 	if one.AllocsPerOp < res.AllocsPerOp {
 		res.AllocsPerOp = one.AllocsPerOp
 	}
+	if one.RPCsPerS > res.RPCsPerS {
+		// The latency quantiles travel with the best-throughput rep: they
+		// describe the same run, not a min over incomparable runs.
+		res.RPCsPerS = one.RPCsPerS
+		res.AddBlockP50NS = one.AddBlockP50NS
+		res.AddBlockP99NS = one.AddBlockP99NS
+	}
 }
 
 func printResult(res Result) {
@@ -115,24 +137,51 @@ func printResult(res Result) {
 	if res.MBPerS > 0 {
 		fmt.Printf(" %8.1f MB/s", res.MBPerS)
 	}
+	if res.RPCsPerS > 0 {
+		fmt.Printf(" %8.0f rpcs/s  p50 %.0fus p99 %.0fus",
+			res.RPCsPerS, res.AddBlockP50NS/1e3, res.AddBlockP99NS/1e3)
+	}
 	fmt.Println()
 }
+
+// benchFilter, when non-nil, restricts the suite to matching benchmark
+// names (-run). Record mode merges the skipped benchmarks' entries from
+// the existing JSON so a focused re-record never drops data.
+var benchFilter *regexp.Regexp
 
 // runSuite runs every benchmark reps times, interleaved (see reps),
 // and returns the per-benchmark bests in suite order.
 func runSuite(fileBytes int64) []Result {
 	bs := benches(fileBytes)
+	if benchFilter != nil {
+		kept := bs[:0]
+		for _, b := range bs {
+			if benchFilter.MatchString(b.name) {
+				kept = append(kept, b)
+			}
+		}
+		bs = kept
+	}
 	results := make([]Result, len(bs))
+	seeded := make([]bool, len(bs))
+	for j, b := range bs {
+		results[j].Name = b.name
+	}
 	for i := 0; i < reps; i++ {
 		for j, b := range bs {
-			one := runOnce(b.name, b.fn, b.benchtime)
+			one, ok := runOnce(b.name, b.fn, b.benchtime)
+			if !ok {
+				fmt.Printf("  rep %d/%d %-32s FAILED (rep skipped)\n", i+1, reps, b.name)
+				continue
+			}
 			if one.MBPerS > 0 {
 				fmt.Printf("  rep %d/%d %-32s %8.1f MB/s\n", i+1, reps, b.name, one.MBPerS)
 			} else {
 				fmt.Printf("  rep %d/%d %-32s %12.0f ns/op\n", i+1, reps, b.name, one.NsPerOp)
 			}
-			if i == 0 {
+			if !seeded[j] {
 				results[j] = one
+				seeded[j] = true
 			} else {
 				merge(&results[j], one)
 			}
@@ -173,6 +222,8 @@ func benches(fileBytes int64) []struct {
 		{n("LiveWrite%dMB/SMARTH-TCP-S4"), func(b *testing.B) { hotbench.LiveWriteTCP(b, proto.ModeSmarth, fileBytes, 1, 4) }, "6x"},
 		{n("LiveWrite%dMB/SMARTH-TCP-R3"), func(b *testing.B) { hotbench.LiveWriteTCP(b, proto.ModeSmarth, fileBytes, 3, 1) }, "6x"},
 		{n("LiveRead%dMB/SMARTH-TCP"), func(b *testing.B) { hotbench.LiveReadTCP(b, client.ReadOptions{}, fileBytes) }, ""},
+		{"CtrlPlane64W/batch", func(b *testing.B) { hotbench.ControlPlane(b, true) }, "3x"},
+		{"CtrlPlane64W/nobatch", func(b *testing.B) { hotbench.ControlPlane(b, false) }, "3x"},
 	}
 }
 
@@ -185,9 +236,18 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the whole run")
 	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the run")
 	flag.IntVar(&reps, "reps", reps, "runs per benchmark; the best run is recorded")
+	runRe := flag.String("run", "", "regexp selecting which benchmarks run; record mode keeps the existing JSON entries for the rest")
 	flag.Parse()
 	if reps < 1 {
 		reps = 1
+	}
+	if *runRe != "" {
+		re, err := regexp.Compile(*runRe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-run: %v\n", err)
+			os.Exit(1)
+		}
+		benchFilter = re
 	}
 
 	if *cpuprofile != "" {
@@ -212,15 +272,36 @@ func main() {
 		os.Exit(code)
 	}
 
-	var report Report
+	var report, old Report
 	if prev, err := os.ReadFile(*out); err == nil {
-		var old Report
 		if json.Unmarshal(prev, &old) == nil {
 			report.Baseline = old.Baseline
 		}
 	}
 
 	report.Current = runSuite(*fileMB << 20)
+	if benchFilter != nil {
+		// Focused re-record: carry over the committed entries for every
+		// benchmark the filter skipped, in their committed order.
+		fresh := make(map[string]Result, len(report.Current))
+		for _, r := range report.Current {
+			fresh[r.Name] = r
+		}
+		merged := make([]Result, 0, len(old.Current)+len(report.Current))
+		for _, r := range old.Current {
+			if nr, ok := fresh[r.Name]; ok {
+				r = nr
+				delete(fresh, r.Name)
+			}
+			merged = append(merged, r)
+		}
+		for _, r := range report.Current {
+			if _, ok := fresh[r.Name]; ok {
+				merged = append(merged, r)
+			}
+		}
+		report.Current = merged
+	}
 	if report.Baseline == nil {
 		report.Baseline = report.Current
 	}
@@ -276,6 +357,13 @@ func runCheck(path string, fileBytes int64, frac float64) int {
 		if want.MBPerS > 0 && got.MBPerS < want.MBPerS*frac {
 			fmt.Printf("  FAIL %s: %.1f MB/s, recorded %.1f (floor %.1f)\n",
 				got.Name, got.MBPerS, want.MBPerS, want.MBPerS*frac)
+			failed++
+		}
+		// Control-plane throughput gates like MB/s: loose, because shared
+		// runners are noisy; the addBlock quantiles are informational.
+		if want.RPCsPerS > 0 && got.RPCsPerS < want.RPCsPerS*frac {
+			fmt.Printf("  FAIL %s: %.0f rpcs/s, recorded %.0f (floor %.0f)\n",
+				got.Name, got.RPCsPerS, want.RPCsPerS, want.RPCsPerS*frac)
 			failed++
 		}
 	}

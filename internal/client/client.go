@@ -73,6 +73,16 @@ type Options struct {
 	Obs *obs.Obs
 	// Logf, when set, receives diagnostic messages.
 	Logf func(format string, args ...any)
+	// MetaCacheTTL bounds how long a getBlockLocations response may be
+	// served from the client's metadata cache. 0 selects
+	// DefaultMetaCacheTTL; negative disables the cache. The client
+	// invalidates a path on every local mutation (create, addBlock,
+	// recover, complete, delete, rename), so staleness only arises from
+	// other clients' mutations inside the TTL window.
+	MetaCacheTTL time.Duration
+	// MetaCacheSize caps cached paths (LRU eviction); 0 selects
+	// DefaultMetaCacheSize.
+	MetaCacheSize int
 }
 
 // WriteOptions configure one file write.
@@ -123,6 +133,11 @@ type WriteOptions struct {
 	// CorkDelay bounds how long corked bytes may age before the next
 	// packet write flushes them (0 = no age bound, size-only).
 	CorkDelay time.Duration
+	// DisableRPCBatch turns off namenode RPC batching for this write
+	// (ablation knob): every queued control-plane op goes out as its own
+	// frame, like the pre-batching client. Op order is identical either
+	// way — the FIFO worker preserves it, batched or not.
+	DisableRPCBatch bool
 }
 
 func (o *WriteOptions) applyDefaults() {
@@ -155,6 +170,7 @@ type Client struct {
 	done bool
 
 	recorder *core.Recorder
+	meta     *metaCache // nil when Options.MetaCacheTTL < 0
 
 	// Observability handles, cached at construction so hot paths never
 	// touch the registry. All are nil-safe: with Options.Obs unset every
@@ -167,6 +183,7 @@ type Client struct {
 	mRPC          *obs.Histogram // namenode RPC latency (client side)
 	mRecoveries   *obs.Counter   // Algorithm 3/4 recovery episodes
 	mRPCRetries   *obs.Counter   // namenode RPC attempts after the first
+	mRPCBatches   *obs.Counter   // multi-op batch frames sent
 	mReadFill     *obs.Histogram // block-read wait for the next packet
 	mBlocksRead   *obs.Counter   // block streams opened
 	mReadHedges   *obs.Counter   // hedge replicas raced
@@ -216,10 +233,15 @@ func New(opts Options) (*Client, error) {
 		c.mRPC = comp.Histogram("rpc_call_ns")
 		c.mRecoveries = comp.Counter("recoveries")
 		c.mRPCRetries = comp.Counter("rpc_retries")
+		c.mRPCBatches = comp.Counter("rpc_batches")
 		c.mReadFill = comp.Histogram("read_fill_ns")
 		c.mBlocksRead = comp.Counter("blocks_read")
 		c.mReadHedges = comp.Counter("read_hedges")
 		c.mReadFailover = comp.Counter("read_failovers")
+	}
+	if opts.MetaCacheTTL >= 0 {
+		c.meta = newMetaCache(opts.Clock, opts.MetaCacheTTL, opts.MetaCacheSize,
+			opts.Obs.Component("client/"+opts.Name))
 	}
 	c.wg.Add(1)
 	go c.heartbeatLoop()
@@ -368,9 +390,34 @@ func (c *Client) callNN(method string, arg, reply any) error {
 	return lastErr
 }
 
+// callNNBatch sends one nnapi.MethodBatch frame and returns the
+// per-entry results. The namenode executes entries strictly in order;
+// a frame-level error (transport, safe mode on the batch itself) fails
+// every entry, while per-entry errors come back in BatchResult.Err.
+func (c *Client) callNNBatch(entries []nnapi.BatchEntry) ([]nnapi.BatchResult, error) {
+	var resp nnapi.BatchResp
+	if err := c.callNN(nnapi.MethodBatch, nnapi.BatchReq{Entries: entries}, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(entries) {
+		return nil, fmt.Errorf("client: batch returned %d results for %d entries", len(resp.Results), len(entries))
+	}
+	c.mRPCBatches.Inc()
+	return resp.Results, nil
+}
+
+// invalidateMeta drops a path from the metadata cache (no-op when the
+// cache is disabled). Called on every local mutation of the path.
+func (c *Client) invalidateMeta(path string) {
+	if c.meta != nil {
+		c.meta.invalidate(path)
+	}
+}
+
 // --- typed ClientProtocol wrappers ---
 
 func (c *Client) createFile(path string, opts WriteOptions) error {
+	c.invalidateMeta(path)
 	return c.callNN(nnapi.MethodCreate, nnapi.CreateReq{
 		Path:        path,
 		Client:      c.opts.Name,
@@ -412,6 +459,7 @@ func (c *Client) completeFile(path string) error {
 			return err
 		}
 		if resp.Done {
+			c.invalidateMeta(path)
 			return nil
 		}
 		if c.clk.Now().Sub(start) >= budget {
@@ -442,14 +490,25 @@ func (c *Client) GetFileInfo(path string) (nnapi.GetFileInfoResp, error) {
 	return resp, err
 }
 
+// getBlockLocations resolves a file's blocks and replica locations,
+// serving from the client's metadata cache when a fresh entry exists.
 func (c *Client) getBlockLocations(path string) (nnapi.GetBlockLocationsResp, error) {
+	if c.meta != nil {
+		if resp, ok := c.meta.get(path); ok {
+			return resp, nil
+		}
+	}
 	var resp nnapi.GetBlockLocationsResp
 	err := c.callNN(nnapi.MethodGetBlockLocations, nnapi.GetBlockLocationsReq{Path: path, Client: c.opts.Name}, &resp)
+	if err == nil && c.meta != nil {
+		c.meta.put(path, resp)
+	}
 	return resp, err
 }
 
 // Delete removes a file; it reports whether the file existed.
 func (c *Client) Delete(path string) (bool, error) {
+	c.invalidateMeta(path)
 	var resp nnapi.DeleteResp
 	err := c.callNN(nnapi.MethodDelete, nnapi.DeleteReq{Path: path}, &resp)
 	return resp.Deleted, err
@@ -457,6 +516,8 @@ func (c *Client) Delete(path string) (bool, error) {
 
 // Rename moves a file; the destination must not exist.
 func (c *Client) Rename(src, dst string) error {
+	c.invalidateMeta(src)
+	c.invalidateMeta(dst)
 	return c.callNN(nnapi.MethodRename, nnapi.RenameReq{Src: src, Dst: dst}, &nnapi.RenameResp{})
 }
 

@@ -1,0 +1,126 @@
+package client
+
+import (
+	"container/list"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/nnapi"
+	"repro/internal/obs"
+)
+
+// Default metadata-cache geometry (see Options.MetaCacheTTL and
+// Options.MetaCacheSize).
+const (
+	// DefaultMetaCacheTTL is short on purpose: it absorbs the re-open /
+	// re-stat bursts of read-heavy workloads without letting another
+	// client's mutations go unseen for long. Local mutations invalidate
+	// immediately and never wait out the TTL.
+	DefaultMetaCacheTTL = time.Second
+	// DefaultMetaCacheSize caps cached paths; LRU beyond that.
+	DefaultMetaCacheSize = 256
+)
+
+// metaCache memoizes getBlockLocations responses per path. Entries
+// expire after a TTL and on any local mutation of the path, so the only
+// staleness a reader can observe is a remote client's mutation inside
+// the TTL window — the same window an uncached reader races anyway
+// between its RPC and its first byte. Reads of located blocks never
+// refetch mid-stream (failover walks the replica list it was given),
+// so a cached response is exactly as good as a fresh one.
+type metaCache struct {
+	mu      sync.Mutex
+	clk     clock.Clock
+	ttl     time.Duration
+	max     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+
+	mHits          *obs.Counter
+	mMisses        *obs.Counter
+	mInvalidations *obs.Counter
+}
+
+type metaEntry struct {
+	path    string
+	resp    nnapi.GetBlockLocationsResp
+	fetched time.Time
+}
+
+// newMetaCache builds a cache; ttl 0 and size 0 select the defaults.
+// comp may be nil (counters degrade to no-ops).
+func newMetaCache(clk clock.Clock, ttl time.Duration, size int, comp *obs.Component) *metaCache {
+	if ttl == 0 {
+		ttl = DefaultMetaCacheTTL
+	}
+	if size <= 0 {
+		size = DefaultMetaCacheSize
+	}
+	return &metaCache{
+		clk:            clk,
+		ttl:            ttl,
+		max:            size,
+		entries:        make(map[string]*list.Element),
+		lru:            list.New(),
+		mHits:          comp.Counter("meta_cache_hits"),
+		mMisses:        comp.Counter("meta_cache_misses"),
+		mInvalidations: comp.Counter("meta_cache_invalidations"),
+	}
+}
+
+// get returns a fresh cached response for path, if any.
+func (mc *metaCache) get(path string) (nnapi.GetBlockLocationsResp, bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	el, ok := mc.entries[path]
+	if !ok {
+		mc.mMisses.Inc()
+		return nnapi.GetBlockLocationsResp{}, false
+	}
+	e := el.Value.(*metaEntry)
+	if mc.clk.Now().Sub(e.fetched) >= mc.ttl {
+		mc.removeLocked(el)
+		mc.mMisses.Inc()
+		return nnapi.GetBlockLocationsResp{}, false
+	}
+	mc.lru.MoveToFront(el)
+	mc.mHits.Inc()
+	return e.resp, true
+}
+
+// put records a response for path, evicting the LRU entry when full.
+func (mc *metaCache) put(path string, resp nnapi.GetBlockLocationsResp) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if el, ok := mc.entries[path]; ok {
+		e := el.Value.(*metaEntry)
+		e.resp = resp
+		e.fetched = mc.clk.Now()
+		mc.lru.MoveToFront(el)
+		return
+	}
+	for len(mc.entries) >= mc.max {
+		mc.removeLocked(mc.lru.Back())
+	}
+	el := mc.lru.PushFront(&metaEntry{path: path, resp: resp, fetched: mc.clk.Now()})
+	mc.entries[path] = el
+}
+
+// invalidate drops path from the cache.
+func (mc *metaCache) invalidate(path string) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if el, ok := mc.entries[path]; ok {
+		mc.removeLocked(el)
+		mc.mInvalidations.Inc()
+	}
+}
+
+func (mc *metaCache) removeLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	delete(mc.entries, el.Value.(*metaEntry).path)
+	mc.lru.Remove(el)
+}

@@ -1,0 +1,84 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/block"
+	"repro/internal/clock"
+	"repro/internal/nnapi"
+	"repro/internal/obs"
+)
+
+func newTestMetaCache(ttl time.Duration, size int) (*metaCache, *clock.Manual, *obs.Component) {
+	clk := clock.NewManual(time.Unix(1000, 0))
+	comp := obs.New(clk).Component("client/test")
+	return newMetaCache(clk, ttl, size, comp), clk, comp
+}
+
+func locResp(id block.ID) nnapi.GetBlockLocationsResp {
+	return nnapi.GetBlockLocationsResp{
+		Blocks: []block.LocatedBlock{{Block: block.Block{ID: id, Gen: 1}}},
+	}
+}
+
+func TestMetaCacheTTLExpiry(t *testing.T) {
+	mc, clk, comp := newTestMetaCache(time.Second, 8)
+	mc.put("/f", locResp(7))
+	if got, ok := mc.get("/f"); !ok || got.Blocks[0].Block.ID != 7 {
+		t.Fatalf("fresh entry not served: ok=%v", ok)
+	}
+	clk.Advance(time.Second) // exactly TTL: entry is stale
+	if _, ok := mc.get("/f"); ok {
+		t.Fatal("expired entry served")
+	}
+	if h, m := comp.Counter("meta_cache_hits").Load(), comp.Counter("meta_cache_misses").Load(); h != 1 || m != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", h, m)
+	}
+}
+
+func TestMetaCacheLRUEviction(t *testing.T) {
+	mc, _, _ := newTestMetaCache(time.Minute, 2)
+	mc.put("/a", locResp(1))
+	mc.put("/b", locResp(2))
+	if _, ok := mc.get("/a"); !ok { // touch /a so /b is the LRU victim
+		t.Fatal("/a missing before eviction")
+	}
+	mc.put("/c", locResp(3))
+	if _, ok := mc.get("/b"); ok {
+		t.Fatal("LRU entry /b survived eviction")
+	}
+	for _, p := range []string{"/a", "/c"} {
+		if _, ok := mc.get(p); !ok {
+			t.Fatalf("%s evicted, want /b only", p)
+		}
+	}
+}
+
+func TestMetaCacheInvalidate(t *testing.T) {
+	mc, _, comp := newTestMetaCache(time.Minute, 8)
+	mc.put("/f", locResp(1))
+	mc.invalidate("/f")
+	mc.invalidate("/absent") // no entry: must not count
+	if _, ok := mc.get("/f"); ok {
+		t.Fatal("invalidated entry served")
+	}
+	if n := comp.Counter("meta_cache_invalidations").Load(); n != 1 {
+		t.Fatalf("invalidations=%d, want 1", n)
+	}
+}
+
+func TestMetaCachePutRefreshes(t *testing.T) {
+	mc, clk, _ := newTestMetaCache(time.Second, 8)
+	mc.put("/f", locResp(1))
+	clk.Advance(900 * time.Millisecond)
+	mc.put("/f", locResp(2)) // re-put resets the TTL and the payload
+	clk.Advance(900 * time.Millisecond)
+	got, ok := mc.get("/f")
+	if !ok {
+		t.Fatal("refreshed entry expired on the original fetch time")
+	}
+	if got.Blocks[0].Block.ID != 2 {
+		t.Fatalf("stale payload %d after re-put", got.Blocks[0].Block.ID)
+	}
+}

@@ -41,6 +41,43 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestConformanceRPCBatchingInvariant is the control-plane ablation:
+// the same scenario runs live with RPC batching (and the metadata
+// cache) enabled — the default — and again with batching disabled, and
+// both logs must equal the sim's byte-for-byte. Batching coalesces
+// heartbeat and addBlock frames; it must never reorder them or change a
+// placement, so the engine's decision log cannot tell the runs apart.
+// Fault scenarios are covered by TestConformance; here the clean ones
+// suffice and keep the extra live runs cheap.
+func TestConformanceRPCBatchingInvariant(t *testing.T) {
+	for _, s := range Scenarios() {
+		if s.Fault != nil {
+			continue
+		}
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			simLog, err := RunSim(s)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			batched, err := RunLive(s, "")
+			if err != nil {
+				t.Fatalf("live (batched) run: %v", err)
+			}
+			if batched != simLog {
+				t.Fatalf("batched live log diverges from sim:%s", diff(simLog, batched))
+			}
+			unbatched, err := RunLiveNoBatch(s, "")
+			if err != nil {
+				t.Fatalf("live (unbatched) run: %v", err)
+			}
+			if unbatched != simLog {
+				t.Fatalf("unbatched live log diverges from sim:%s", diff(simLog, unbatched))
+			}
+		})
+	}
+}
+
 // pickVictim reads the failing block's first datanode out of the sim log
 // and checks the seed keeps it out of every other pipeline's lead: the
 // live substrate blackholes the client→victim link for the whole write,

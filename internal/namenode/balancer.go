@@ -20,8 +20,16 @@ type pendingMove struct {
 	gen    block.GenStamp
 }
 
+// blockSnap is a balancer-local snapshot of one complete block.
+type blockSnap struct {
+	cur     block.Block
+	holders map[string]bool
+}
+
 // Balance computes one round of balancing moves and queues them on the
-// source datanodes' heartbeats.
+// source datanodes' heartbeats. The block index is a point-in-time
+// snapshot (taken shard by shard), which is fine: a move that races a
+// concurrent delete just produces an invalidation for the moved copy.
 func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
 	if req.Threshold <= 0 {
 		req.Threshold = 0.1
@@ -29,22 +37,14 @@ func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
 	if req.MaxMoves <= 0 {
 		req.MaxMoves = 16
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 
-	type usage struct {
-		name string
-		used int64
-	}
-	var nodes []usage
-	var total int64
-	for _, name := range nn.dm.placeableNames() {
-		e := nn.dm.nodes[name]
-		nodes = append(nodes, usage{name: name, used: e.usedBytes})
-		total += e.usedBytes
-	}
+	nodes := nn.dm.usages()
 	if len(nodes) < 2 {
 		return nnapi.BalanceResp{}, nil
+	}
+	var total int64
+	for _, n := range nodes {
+		total += n.used
 	}
 	mean := total / int64(len(nodes))
 	resp := nnapi.BalanceResp{MeanBytes: mean}
@@ -56,7 +56,7 @@ func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
 
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].used > nodes[j].used })
 	// Receivers, least-utilized first.
-	var receivers []usage
+	var receivers []dnUsage
 	for i := len(nodes) - 1; i >= 0; i-- {
 		if nodes[i].used < under {
 			receivers = append(receivers, nodes[i])
@@ -66,38 +66,57 @@ func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
 		return resp, nil
 	}
 
-	// Index blocks by holder for the donors we will touch.
-	blocksOn := make(map[string][]*blockMeta)
-	for _, meta := range nn.ns.blocks {
-		f := nn.ns.files[meta.path]
-		if f == nil || !f.complete {
-			continue
+	// Index complete files' blocks by holder for the donors we will touch.
+	blocksOn := make(map[string][]blockSnap)
+	nn.ns.forEachFile(func(f *fileInode) {
+		if !f.complete {
+			return
 		}
-		for holder := range meta.locations {
-			blocksOn[holder] = append(blocksOn[holder], meta)
+		for _, id := range f.blocks {
+			cur, _, holders, ok := nn.ns.blockView(id)
+			if !ok {
+				continue
+			}
+			holderSet := make(map[string]bool, len(holders))
+			for _, h := range holders {
+				holderSet[h] = true
+			}
+			snap := blockSnap{cur: cur, holders: holderSet}
+			for _, h := range holders {
+				blocksOn[h] = append(blocksOn[h], snap)
+			}
 		}
-	}
-	for _, metas := range blocksOn {
-		sort.Slice(metas, func(i, j int) bool { return metas[i].cur.ID < metas[j].cur.ID })
+	})
+	for _, snaps := range blocksOn {
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].cur.ID < snaps[j].cur.ID })
 	}
 
+	// Select moves under nn.mu (reserving each block in balancerMoves),
+	// then queue the transfer commands after releasing it — nn.mu is last
+	// in the lock order and must not be held across other subsystems.
+	type move struct {
+		source string
+		cmd    nnapi.ReplicateCmd
+	}
+	var moves []move
+	nn.mu.Lock()
 	ri := 0
 	for _, donor := range nodes {
 		if donor.used <= over || resp.Moves >= req.MaxMoves {
 			continue
 		}
-		for _, meta := range blocksOn[donor.name] {
+		for _, snap := range blocksOn[donor.name] {
 			if resp.Moves >= req.MaxMoves {
 				break
 			}
-			if _, busy := nn.balancerMoves[meta.cur.ID]; busy {
+			if _, busy := nn.balancerMoves[snap.cur.ID]; busy {
 				continue
 			}
 			// Find a receiver that doesn't already hold this block.
 			var target string
 			for probe := 0; probe < len(receivers); probe++ {
 				cand := receivers[(ri+probe)%len(receivers)]
-				if !meta.locations[cand.name] {
+				if !snap.holders[cand.name] {
 					target = cand.name
 					ri = (ri + probe + 1) % len(receivers)
 					break
@@ -110,28 +129,35 @@ func (nn *Namenode) Balance(req nnapi.BalanceReq) (nnapi.BalanceResp, error) {
 			if !ok {
 				continue
 			}
-			nn.balancerMoves[meta.cur.ID] = pendingMove{source: donor.name, target: target, gen: meta.cur.Gen}
-			nn.repl.queue[donor.name] = append(nn.repl.queue[donor.name], nnapi.ReplicateCmd{
-				Block:   meta.cur,
+			nn.balancerMoves[snap.cur.ID] = pendingMove{source: donor.name, target: target, gen: snap.cur.Gen}
+			moves = append(moves, move{source: donor.name, cmd: nnapi.ReplicateCmd{
+				Block:   snap.cur,
 				Targets: []block.DatanodeInfo{info},
-			})
+			}})
 			resp.Moves++
 		}
+	}
+	nn.mu.Unlock()
+
+	for _, m := range moves {
+		nn.repl.enqueueMove(m.source, m.cmd)
 	}
 	return resp, nil
 }
 
-// completeBalancerMove is called (with the lock held) from BlockReceived:
-// if this report finishes a balancer move, the source replica is
-// invalidated.
+// completeBalancerMove is called from blockReceivedOne: if this report
+// finishes a balancer move, the source replica is dropped and
+// invalidated. nn.mu protects only the move table and is released before
+// touching the block stripe or the datanode manager.
 func (nn *Namenode) completeBalancerMove(dn string, b block.Block) {
+	nn.mu.Lock()
 	move, ok := nn.balancerMoves[b.ID]
 	if !ok || move.target != dn || move.gen != b.Gen {
+		nn.mu.Unlock()
 		return
 	}
 	delete(nn.balancerMoves, b.ID)
-	if meta, ok := nn.ns.blocks[b.ID]; ok {
-		delete(meta.locations, move.source)
-	}
+	nn.mu.Unlock()
+	nn.ns.dropLocation(b.ID, move.source)
 	nn.dm.scheduleInvalidate(move.source, b.ID, b.Gen)
 }

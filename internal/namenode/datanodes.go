@@ -2,6 +2,7 @@ package namenode
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/block"
@@ -28,9 +29,15 @@ type dnEntry struct {
 	invalidate map[block.ID]block.GenStamp
 }
 
-// datanodeManager tracks registration, liveness and invalidation work.
-// All methods are called with the namenode lock held.
+// datanodeManager tracks registration, liveness, topology and
+// invalidation work under its own lock (mu), independent of the
+// namespace shards. Methods with a Locked suffix assume mu is held —
+// placement runs a whole choose() under mu so the topology and the
+// shared placement rng stay consistent; everything else self-locks.
+// In the namenode lock order, mu may be acquired while a namespace
+// shard is held, never the reverse.
 type datanodeManager struct {
+	mu     sync.Mutex
 	clk    clock.Clock
 	expiry time.Duration
 	topo   *topology.Topology
@@ -49,7 +56,9 @@ func newDatanodeManager(clk clock.Clock, expiry time.Duration) *datanodeManager 
 	}
 }
 
-func (m *datanodeManager) register(info block.DatanodeInfo) *dnEntry {
+func (m *datanodeManager) register(info block.DatanodeInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	e := m.nodes[info.Name]
 	if e == nil {
 		e = &dnEntry{invalidate: make(map[block.ID]block.GenStamp)}
@@ -58,10 +67,11 @@ func (m *datanodeManager) register(info block.DatanodeInfo) *dnEntry {
 	e.info = info
 	e.lastBeat = m.clk.Now()
 	m.topo.Add(info.Name, info.Rack)
-	return e
 }
 
 func (m *datanodeManager) heartbeat(name string, used int64) (invalidate []block.Block, known bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	e := m.nodes[name]
 	if e == nil {
 		return nil, false
@@ -79,15 +89,15 @@ func (m *datanodeManager) heartbeat(name string, used int64) (invalidate []block
 	return invalidate, true
 }
 
-func (m *datanodeManager) isAlive(e *dnEntry) bool {
+func (m *datanodeManager) isAliveLocked(e *dnEntry) bool {
 	return m.clk.Now().Sub(e.lastBeat) < m.expiry
 }
 
-// alive returns live datanodes sorted by name.
-func (m *datanodeManager) alive() []block.DatanodeInfo {
+// aliveLocked returns live datanodes sorted by name. Caller holds mu.
+func (m *datanodeManager) aliveLocked() []block.DatanodeInfo {
 	out := make([]block.DatanodeInfo, 0, len(m.nodes))
 	for _, e := range m.nodes {
-		if m.isAlive(e) {
+		if m.isAliveLocked(e) {
 			out = append(out, e.info)
 		}
 	}
@@ -97,7 +107,9 @@ func (m *datanodeManager) alive() []block.DatanodeInfo {
 
 // aliveNames returns live datanode names sorted.
 func (m *datanodeManager) aliveNames() []string {
-	infos := m.alive()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	infos := m.aliveLocked()
 	out := make([]string, len(infos))
 	for i, d := range infos {
 		out[i] = d.Name
@@ -105,12 +117,12 @@ func (m *datanodeManager) aliveNames() []string {
 	return out
 }
 
-// placeableNames returns live datanodes eligible for new replicas (live
-// and not decommissioning), sorted.
-func (m *datanodeManager) placeableNames() []string {
+// placeableNamesLocked returns live datanodes eligible for new replicas
+// (live and not decommissioning), sorted. Caller holds mu.
+func (m *datanodeManager) placeableNamesLocked() []string {
 	out := make([]string, 0, len(m.nodes))
 	for name, e := range m.nodes {
-		if m.isAlive(e) && !e.decommissioning {
+		if m.isAliveLocked(e) && !e.decommissioning {
 			out = append(out, name)
 		}
 	}
@@ -118,8 +130,17 @@ func (m *datanodeManager) placeableNames() []string {
 	return out
 }
 
+// placeableNames is the self-locking form of placeableNamesLocked.
+func (m *datanodeManager) placeableNames() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.placeableNamesLocked()
+}
+
 // setDecommissioning flips a node's drain state; unknown nodes error.
 func (m *datanodeManager) setDecommissioning(name string, on bool) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	e, ok := m.nodes[name]
 	if !ok {
 		return false
@@ -130,12 +151,15 @@ func (m *datanodeManager) setDecommissioning(name string, on bool) bool {
 
 // isDecommissioning reports the drain state.
 func (m *datanodeManager) isDecommissioning(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	e, ok := m.nodes[name]
 	return ok && e.decommissioning
 }
 
-// lookup resolves a datanode by name regardless of liveness.
-func (m *datanodeManager) lookup(name string) (block.DatanodeInfo, bool) {
+// lookupLocked resolves a datanode by name regardless of liveness.
+// Caller holds mu.
+func (m *datanodeManager) lookupLocked(name string) (block.DatanodeInfo, bool) {
 	e, ok := m.nodes[name]
 	if !ok {
 		return block.DatanodeInfo{}, false
@@ -143,9 +167,18 @@ func (m *datanodeManager) lookup(name string) (block.DatanodeInfo, bool) {
 	return e.info, true
 }
 
+// lookup is the self-locking form of lookupLocked.
+func (m *datanodeManager) lookup(name string) (block.DatanodeInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lookupLocked(name)
+}
+
 // scheduleInvalidate queues deletion of a datanode's replica of the block
 // at or below the given stale generation.
 func (m *datanodeManager) scheduleInvalidate(name string, id block.ID, staleGen block.GenStamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if e, ok := m.nodes[name]; ok {
 		if old, exists := e.invalidate[id]; !exists || staleGen > old {
 			e.invalidate[id] = staleGen
@@ -155,11 +188,54 @@ func (m *datanodeManager) scheduleInvalidate(name string, id block.ID, staleGen 
 
 // numRacks counts racks among live nodes.
 func (m *datanodeManager) numRacks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	racks := make(map[string]bool)
 	for _, e := range m.nodes {
-		if m.isAlive(e) {
+		if m.isAliveLocked(e) {
 			racks[e.info.Rack] = true
 		}
 	}
 	return len(racks)
+}
+
+// orderedHolders resolves the live subset of holders to DatanodeInfos.
+// When client is non-empty they are ordered by network distance from it
+// (node-local, then rack-local, then remote, ties by the input order);
+// otherwise the input (sorted-by-name) order is kept.
+func (m *datanodeManager) orderedHolders(client string, holders []string) []block.DatanodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]block.DatanodeInfo, 0, len(holders))
+	for _, name := range holders {
+		if e, ok := m.nodes[name]; ok && m.isAliveLocked(e) {
+			out = append(out, e.info)
+		}
+	}
+	if client != "" {
+		sort.SliceStable(out, func(i, j int) bool {
+			return m.topo.Distance(client, out[i].Name) < m.topo.Distance(client, out[j].Name)
+		})
+	}
+	return out
+}
+
+// dnUsage is one datanode's disk utilization (balancer input).
+type dnUsage struct {
+	name string
+	used int64
+}
+
+// usages snapshots utilization for placeable nodes.
+func (m *datanodeManager) usages() []dnUsage {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]dnUsage, 0, len(m.nodes))
+	for name, e := range m.nodes {
+		if m.isAliveLocked(e) && !e.decommissioning {
+			out = append(out, dnUsage{name: name, used: e.usedBytes})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
 }

@@ -38,13 +38,15 @@ type image struct {
 	Files     []imageFile `json:"files"`
 }
 
-// SaveImage writes a namespace checkpoint.
+// SaveImage writes a namespace checkpoint. The snapshot is taken shard
+// by shard (there is no global namesystem lock), so it is consistent per
+// file but not across concurrent mutations — checkpoint a quiesced
+// namenode, as the CLI's save path does.
 func (nn *Namenode) SaveImage(w io.Writer) error {
-	nn.mu.Lock()
 	img := image{
 		Version:   imageVersion,
-		NextBlock: int64(nn.ns.nextBlock),
-		NextGen:   uint64(nn.ns.nextGen),
+		NextBlock: nn.ns.nextBlock.Load(),
+		NextGen:   nn.ns.nextGen.Load(),
 	}
 	for _, f := range nn.ns.list("") {
 		imf := imageFile{
@@ -55,16 +57,18 @@ func (nn *Namenode) SaveImage(w io.Writer) error {
 			Complete:    f.complete,
 		}
 		for _, id := range f.blocks {
-			meta := nn.ns.blocks[id]
+			cur, _, _, ok := nn.ns.blockView(id)
+			if !ok {
+				continue
+			}
 			imf.Blocks = append(imf.Blocks, imageBlock{
-				ID:       int64(meta.cur.ID),
-				Gen:      uint64(meta.cur.Gen),
-				NumBytes: meta.cur.NumBytes,
+				ID:       int64(cur.ID),
+				Gen:      uint64(cur.Gen),
+				NumBytes: cur.NumBytes,
 			})
 		}
 		img.Files = append(img.Files, imf)
 	}
-	nn.mu.Unlock()
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -82,12 +86,11 @@ func (nn *Namenode) LoadImage(r io.Reader) error {
 	if img.Version != imageVersion {
 		return fmt.Errorf("namenode: image version %d, want %d", img.Version, imageVersion)
 	}
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if len(nn.ns.files) != 0 {
-		return fmt.Errorf("namenode: refusing to load an image into a non-empty namespace (%d files)", len(nn.ns.files))
+	if n := nn.ns.fileCount(); n != 0 {
+		return fmt.Errorf("namenode: refusing to load an image into a non-empty namespace (%d files)", n)
 	}
 	now := nn.clk.Now()
+	totalBlocks := 0
 	for _, imf := range img.Files {
 		f := &fileInode{
 			path:        imf.Path,
@@ -97,21 +100,19 @@ func (nn *Namenode) LoadImage(r io.Reader) error {
 			complete:    imf.Complete,
 			renewed:     now,
 		}
+		metas := make([]block.Block, 0, len(imf.Blocks))
 		for _, ib := range imf.Blocks {
 			id := block.ID(ib.ID)
 			f.blocks = append(f.blocks, id)
-			nn.ns.blocks[id] = &blockMeta{
-				cur:       block.Block{ID: id, Gen: block.GenStamp(ib.Gen), NumBytes: ib.NumBytes},
-				path:      imf.Path,
-				locations: make(map[string]bool),
-			}
+			metas = append(metas, block.Block{ID: id, Gen: block.GenStamp(ib.Gen), NumBytes: ib.NumBytes})
 		}
-		nn.ns.files[imf.Path] = f
+		totalBlocks += len(metas)
+		nn.ns.restore(f, metas)
 	}
-	nn.ns.nextBlock = block.ID(img.NextBlock)
-	nn.ns.nextGen = block.GenStamp(img.NextGen)
+	nn.ns.nextBlock.Store(img.NextBlock)
+	nn.ns.nextGen.Store(img.NextGen)
 	// Replica locations are unknown until datanodes report: enter safe
 	// mode (namespace mutations rejected) if the image holds any blocks.
-	nn.safeMode = len(nn.ns.blocks) > 0
+	nn.safeMode.Store(totalBlocks > 0)
 	return nil
 }

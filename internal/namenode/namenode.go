@@ -3,13 +3,22 @@
 // placement — both HDFS's default topology policy and SMARTH's
 // Algorithm 1 global optimization — and the RPC surface defined in
 // package nnapi.
+//
+// Concurrency: there is no global namesystem lock. The namespace is
+// sharded by parent directory and the block manager striped by block ID
+// (see namesystem.go); the datanode manager, replication manager, and
+// balancer bookkeeping each have their own lock. The documented lock
+// order is: namespace shard(s, by index) → one block stripe → datanode
+// manager → replication manager → nn.mu (balancer/admin); locks are
+// only ever acquired left-to-right along that order.
 package namenode
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
@@ -39,16 +48,27 @@ type Options struct {
 	// Seed drives placement randomness; a fixed seed makes tests and
 	// simulations reproducible. Zero means seed from the system clock.
 	Seed int64
+	// Shards is the namespace shard (and block stripe) count, rounded up
+	// to a power of two. Zero selects DefaultShards; 1 approximates the
+	// old single-lock namesystem (useful for contention A/B tests).
+	Shards int
 	// Obs, when set, receives metrics (RPC latency per method, placement
-	// decisions, block recoveries) under the "namenode" component.
+	// decisions, block recoveries, shard contention) under the
+	// "namenode" component.
 	Obs *obs.Obs
+}
+
+// methodMetrics holds one RPC method's latency histogram and error
+// counter, shared by the RPC-server observer and the batch executor.
+type methodMetrics struct {
+	lat  *obs.Histogram
+	errs *obs.Counter
 }
 
 // Namenode is the metadata server. Create one with New, then Serve it on
 // a transport listener (or call its methods directly in-process, which is
 // what the discrete-event simulator does).
 type Namenode struct {
-	mu       sync.Mutex
 	clk      clock.Clock
 	ns       *namesystem
 	dm       *datanodeManager
@@ -56,23 +76,35 @@ type Namenode struct {
 	repl     *replicationManager
 	rng      *rand.Rand
 	leaseTTL time.Duration
+
+	// mu guards the server handle and balancerMoves (admin state); it is
+	// last in the lock order and never held across other subsystems.
+	mu sync.Mutex
 	// balancerMoves tracks in-flight balancer transfers by block ID.
 	balancerMoves map[block.ID]pendingMove
+	server        *rpc.Server
+
 	// safeMode blocks namespace mutations after a restart until enough
 	// blocks have at least one reported replica (like HDFS startup).
-	safeMode bool
+	safeMode atomic.Bool
 
 	defaultPolicy *defaultPlacement
 	smarthPolicy  *smarthPlacement
 
-	server *rpc.Server
+	// batchable maps method names to their decode/execute handlers; the
+	// Batch RPC re-dispatches entries through it.
+	batchable map[string]rpc.Handler
 
 	// Observability (nil-safe no-ops when Options.Obs is unset).
 	obsComp          *obs.Component
+	mm               map[string]methodMetrics
 	mPlaceSmarth     *obs.Counter
 	mPlaceDefault    *obs.Counter
 	mBlocksAllocated *obs.Counter
 	mBlockRecoveries *obs.Counter
+	mRPCs            *obs.Counter // logical operations served (batch entries count individually)
+	mBatches         *obs.Counter // batch frames served
+	mShardContention *obs.Counter // contended shard/stripe lock acquisitions
 }
 
 // New constructs a namenode.
@@ -93,9 +125,12 @@ func New(opts Options) *Namenode {
 	if leaseTTL <= 0 {
 		leaseTTL = DefaultLeaseTimeout
 	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
 	nn := &Namenode{
 		clk:           clk,
-		ns:            newNamesystem(),
 		dm:            dm,
 		registry:      registry,
 		repl:          newReplicationManager(dm.expiry),
@@ -110,56 +145,82 @@ func New(opts Options) *Namenode {
 	nn.mPlaceDefault = nn.obsComp.Counter("placement_default")
 	nn.mBlocksAllocated = nn.obsComp.Counter("blocks_allocated")
 	nn.mBlockRecoveries = nn.obsComp.Counter("block_recoveries")
+	nn.mRPCs = nn.obsComp.Counter("nn_rpcs")
+	nn.mBatches = nn.obsComp.Counter("nn_batches")
+	nn.mShardContention = nn.obsComp.Counter("shard_contention")
+	nn.ns = newNamesystem(shards, nn.mShardContention)
+	nn.batchable = map[string]rpc.Handler{
+		nnapi.MethodCreate:             rpc.HandlerFor(nnapi.MethodCreate, nn.Create),
+		nnapi.MethodAddBlock:           rpc.HandlerFor(nnapi.MethodAddBlock, nn.AddBlock),
+		nnapi.MethodAbandonBlock:       rpc.HandlerFor(nnapi.MethodAbandonBlock, nn.AbandonBlock),
+		nnapi.MethodComplete:           rpc.HandlerFor(nnapi.MethodComplete, nn.Complete),
+		nnapi.MethodRecoverBlock:       rpc.HandlerFor(nnapi.MethodRecoverBlock, nn.RecoverBlock),
+		nnapi.MethodClientHeartbeat:    rpc.HandlerFor(nnapi.MethodClientHeartbeat, nn.ClientHeartbeat),
+		nnapi.MethodGetBlockLocations:  rpc.HandlerFor(nnapi.MethodGetBlockLocations, nn.GetBlockLocations),
+		nnapi.MethodGetFileInfo:        rpc.HandlerFor(nnapi.MethodGetFileInfo, nn.GetFileInfo),
+		nnapi.MethodClusterInfo:        rpc.HandlerFor(nnapi.MethodClusterInfo, nn.ClusterInfo),
+		nnapi.MethodDelete:             rpc.HandlerFor(nnapi.MethodDelete, nn.Delete),
+		nnapi.MethodRename:             rpc.HandlerFor(nnapi.MethodRename, nn.Rename),
+		nnapi.MethodList:               rpc.HandlerFor(nnapi.MethodList, nn.List),
+		nnapi.MethodHeartbeat:          rpc.HandlerFor(nnapi.MethodHeartbeat, nn.Heartbeat),
+		nnapi.MethodBlockReceived:      rpc.HandlerFor(nnapi.MethodBlockReceived, nn.BlockReceived),
+		nnapi.MethodBlockReceivedBatch: rpc.HandlerFor(nnapi.MethodBlockReceivedBatch, nn.BlockReceivedBatch),
+	}
+	if opts.Obs != nil {
+		nn.mm = make(map[string]methodMetrics)
+		for m := range nn.batchable {
+			nn.mm[m] = methodMetrics{
+				lat:  nn.obsComp.Histogram("rpc_" + m + "_ns"),
+				errs: nn.obsComp.Counter("rpc_" + m + "_errors"),
+			}
+		}
+		for _, m := range []string{
+			nnapi.MethodBatch, nnapi.MethodRegister,
+			nnapi.MethodDecommission, nnapi.MethodDecommStatus, nnapi.MethodBalance,
+		} {
+			nn.mm[m] = methodMetrics{
+				lat:  nn.obsComp.Histogram("rpc_" + m + "_ns"),
+				errs: nn.obsComp.Counter("rpc_" + m + "_errors"),
+			}
+		}
+	}
 	return nn
 }
 
 // Registry exposes the speed-record registry (used by tests and tools).
 func (nn *Namenode) Registry() *core.Registry { return nn.registry }
 
+// place runs one placement decision under the datanode manager's lock,
+// so the policy observes a consistent topology and the shared rng is
+// race-free.
+func (nn *Namenode) place(mode proto.WriteMode, client string, replication int, exclude []string) ([]block.DatanodeInfo, error) {
+	nn.dm.mu.Lock()
+	defer nn.dm.mu.Unlock()
+	return nn.policyFor(mode).choose(client, replication, exclude)
+}
+
 // Serve runs the RPC server on l until the listener closes.
 func (nn *Namenode) Serve(l transport.Listener) {
 	s := rpc.NewServer()
-	rpc.Handle(s, nnapi.MethodCreate, nn.Create)
-	rpc.Handle(s, nnapi.MethodAddBlock, nn.AddBlock)
-	rpc.Handle(s, nnapi.MethodAbandonBlock, nn.AbandonBlock)
-	rpc.Handle(s, nnapi.MethodComplete, nn.Complete)
-	rpc.Handle(s, nnapi.MethodRecoverBlock, nn.RecoverBlock)
-	rpc.Handle(s, nnapi.MethodClientHeartbeat, nn.ClientHeartbeat)
-	rpc.Handle(s, nnapi.MethodGetBlockLocations, nn.GetBlockLocations)
-	rpc.Handle(s, nnapi.MethodGetFileInfo, nn.GetFileInfo)
-	rpc.Handle(s, nnapi.MethodClusterInfo, nn.ClusterInfo)
-	rpc.Handle(s, nnapi.MethodDelete, nn.Delete)
-	rpc.Handle(s, nnapi.MethodRename, nn.Rename)
-	rpc.Handle(s, nnapi.MethodList, nn.List)
+	for method, h := range nn.batchable {
+		s.RegisterFunc(method, h)
+	}
+	rpc.Handle(s, nnapi.MethodBatch, nn.Batch)
 	rpc.Handle(s, nnapi.MethodRegister, nn.Register)
-	rpc.Handle(s, nnapi.MethodHeartbeat, nn.Heartbeat)
-	rpc.Handle(s, nnapi.MethodBlockReceived, nn.BlockReceived)
 	rpc.Handle(s, nnapi.MethodDecommission, nn.Decommission)
 	rpc.Handle(s, nnapi.MethodDecommStatus, nn.DecommissionStatus)
 	rpc.Handle(s, nnapi.MethodBalance, nn.Balance)
 	if nn.obsComp != nil {
-		// One latency histogram and error counter per method, pre-built so
-		// the observer callback is a lock-free map read + atomic update.
-		type methodMetrics struct {
-			lat  *obs.Histogram
-			errs *obs.Counter
-		}
-		byMethod := make(map[string]methodMetrics)
-		for _, m := range []string{
-			nnapi.MethodCreate, nnapi.MethodAddBlock, nnapi.MethodAbandonBlock,
-			nnapi.MethodComplete, nnapi.MethodRecoverBlock, nnapi.MethodClientHeartbeat,
-			nnapi.MethodGetBlockLocations, nnapi.MethodGetFileInfo, nnapi.MethodClusterInfo,
-			nnapi.MethodDelete, nnapi.MethodRename, nnapi.MethodList,
-			nnapi.MethodRegister, nnapi.MethodHeartbeat, nnapi.MethodBlockReceived,
-			nnapi.MethodDecommission, nnapi.MethodDecommStatus, nnapi.MethodBalance,
-		} {
-			byMethod[m] = methodMetrics{
-				lat:  nn.obsComp.Histogram("rpc_" + m + "_ns"),
-				errs: nn.obsComp.Counter("rpc_" + m + "_errors"),
-			}
-		}
+		// Per-method latency histograms and error counters are pre-built
+		// in New (shared with the batch executor), so the observer
+		// callback is a lock-free map read + atomic update.
 		s.SetObserver(func(method string, d time.Duration, errored bool) {
-			mm, ok := byMethod[method]
+			if method == nnapi.MethodBatch {
+				nn.mBatches.Inc()
+			} else {
+				nn.mRPCs.Inc()
+			}
+			mm, ok := nn.mm[method]
 			if !ok {
 				return
 			}
@@ -187,50 +248,42 @@ func (nn *Namenode) Close() {
 
 // --- ClientProtocol ---
 
-// checkSafeModeLocked recomputes and reports safe-mode state: the
-// namenode leaves safe mode once every known block has at least one
-// reported replica (or the namespace holds no blocks).
-func (nn *Namenode) checkSafeModeLocked() error {
-	if !nn.safeMode {
+// checkSafeMode recomputes and reports safe-mode state: the namenode
+// leaves safe mode once every known block has at least one reported
+// replica (or the namespace holds no blocks). The fast path is one
+// atomic load; the stripe scan runs only while safe mode is still on.
+func (nn *Namenode) checkSafeMode() error {
+	if !nn.safeMode.Load() {
 		return nil
 	}
-	for _, meta := range nn.ns.blocks {
-		if len(meta.locations) == 0 {
-			return ErrSafeMode
-		}
+	if nn.ns.anyUnreportedBlock() {
+		return ErrSafeMode
 	}
-	nn.safeMode = false
+	nn.safeMode.Store(false)
 	return nil
 }
 
 // Create makes a new file in the namespace (write step 1).
 func (nn *Namenode) Create(req nnapi.CreateReq) (nnapi.CreateResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.checkSafeModeLocked(); err != nil {
+	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.CreateResp{}, err
 	}
-	if err := nn.ns.create(req.Path, req.Client, req.Replication, req.BlockSize, req.Overwrite); err != nil {
+	if err := nn.ns.create(req.Path, req.Client, req.Replication, req.BlockSize, req.Overwrite, nn.clk.Now()); err != nil {
 		return nnapi.CreateResp{}, err
 	}
-	nn.ns.files[req.Path].renewed = nn.clk.Now()
 	return nnapi.CreateResp{}, nil
 }
 
 // AddBlock allocates the file's next block and chooses its pipeline with
 // the policy matching the requested write mode.
 func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.checkSafeModeLocked(); err != nil {
+	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.AddBlockResp{}, err
 	}
-	f, err := nn.ns.checkLease(req.Path, req.Client)
-	if err != nil {
-		return nnapi.AddBlockResp{}, err
-	}
-	f.renewed = nn.clk.Now()
-	targets, err := nn.policyFor(req.Mode).choose(req.Client, f.replication, req.Exclude)
+	b, targets, reused, err := nn.ns.addBlock(req.Path, req.Client, req.Previous, nn.clk.Now(),
+		func(replication int) ([]block.DatanodeInfo, error) {
+			return nn.place(req.Mode, req.Client, replication, req.Exclude)
+		})
 	if err != nil {
 		return nnapi.AddBlockResp{}, err
 	}
@@ -239,9 +292,7 @@ func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) 
 	} else {
 		nn.mPlaceDefault.Inc()
 	}
-	b, reused := nn.ns.reusableTail(f, req.Previous)
 	if !reused {
-		b = nn.ns.allocateBlock(f)
 		nn.mBlocksAllocated.Inc()
 	}
 	return nnapi.AddBlockResp{Located: block.LocatedBlock{Block: b, Targets: targets}}, nil
@@ -256,21 +307,13 @@ func (nn *Namenode) policyFor(mode proto.WriteMode) placement {
 
 // AbandonBlock drops an allocated block that never received data.
 func (nn *Namenode) AbandonBlock(req nnapi.AbandonBlockReq) (nnapi.AbandonBlockResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, err := nn.ns.checkLease(req.Path, req.Client)
-	if err != nil {
-		return nnapi.AbandonBlockResp{}, err
-	}
-	return nnapi.AbandonBlockResp{}, nn.ns.abandonBlock(f, req.Block)
+	return nnapi.AbandonBlockResp{}, nn.ns.abandonBlock(req.Path, req.Client, req.Block)
 }
 
 // Complete finishes the file once every block is minimally replicated
 // (write step 6). Done=false asks the client to retry shortly, matching
 // HDFS's completeFile loop.
 func (nn *Namenode) Complete(req nnapi.CompleteReq) (nnapi.CompleteResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	done, err := nn.ns.complete(req.Path, req.Client)
 	return nnapi.CompleteResp{Done: done}, err
 }
@@ -280,57 +323,51 @@ func (nn *Namenode) Complete(req nnapi.CompleteReq) (nnapi.CompleteResp, error) 
 // list (surviving nodes first, then replacements chosen by the current
 // policy).
 func (nn *Namenode) RecoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.checkSafeModeLocked(); err != nil {
+	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.RecoverBlockResp{}, err
 	}
-	f, err := nn.ns.checkLease(req.Path, req.Client)
-	if err != nil {
-		return nnapi.RecoverBlockResp{}, err
-	}
-	f.renewed = nn.clk.Now()
-	newBlock, stale, err := nn.ns.recoverBlock(f, req.Block)
+	newBlock, targets, err := nn.ns.recoverBlock(req.Path, req.Client, req.Block, nn.clk.Now(),
+		func(replication int, stale []string) ([]block.DatanodeInfo, error) {
+			for _, dn := range stale {
+				nn.dm.scheduleInvalidate(dn, req.Block.ID, req.Block.Gen)
+			}
+			// Keep the surviving datanodes (they already hold partial data
+			// and proved reachable), then top up to the replication factor.
+			targets := make([]block.DatanodeInfo, 0, replication)
+			taken := make([]string, 0, len(req.Alive)+len(req.Exclude))
+			taken = append(taken, req.Exclude...)
+			aliveSet := make(map[string]bool)
+			for _, n := range nn.dm.aliveNames() {
+				aliveSet[n] = true
+			}
+			for _, name := range req.Alive {
+				if info, ok := nn.dm.lookup(name); ok && aliveSet[name] && len(targets) < replication {
+					targets = append(targets, info)
+					taken = append(taken, name)
+				}
+			}
+			if missing := replication - len(targets); missing > 0 {
+				extra, err := nn.place(req.Mode, req.Client, missing, taken)
+				if err != nil && len(targets) == 0 {
+					return nil, fmt.Errorf("recover %v: %w", req.Block, err)
+				}
+				targets = append(targets, extra...)
+			}
+			return targets, nil
+		})
 	if err != nil {
 		return nnapi.RecoverBlockResp{}, err
 	}
 	nn.mBlockRecoveries.Inc()
-	for _, dn := range stale {
-		nn.dm.scheduleInvalidate(dn, req.Block.ID, req.Block.Gen)
-	}
-
-	// Keep the surviving datanodes (they already hold partial data and
-	// proved reachable), then top up to the replication factor.
-	targets := make([]block.DatanodeInfo, 0, f.replication)
-	taken := make([]string, 0, len(req.Alive)+len(req.Exclude))
-	taken = append(taken, req.Exclude...)
-	aliveSet := make(map[string]bool, len(nn.dm.aliveNames()))
-	for _, n := range nn.dm.aliveNames() {
-		aliveSet[n] = true
-	}
-	for _, name := range req.Alive {
-		if info, ok := nn.dm.lookup(name); ok && aliveSet[name] && len(targets) < f.replication {
-			targets = append(targets, info)
-			taken = append(taken, name)
-		}
-	}
-	if missing := f.replication - len(targets); missing > 0 {
-		extra, err := nn.policyFor(req.Mode).choose(req.Client, missing, taken)
-		if err != nil && len(targets) == 0 {
-			return nnapi.RecoverBlockResp{}, fmt.Errorf("recover %v: %w", req.Block, err)
-		}
-		targets = append(targets, extra...)
-	}
 	return nnapi.RecoverBlockResp{Located: block.LocatedBlock{Block: newBlock, Targets: targets}}, nil
 }
 
 // ClientHeartbeat ingests a client's speed records (SMARTH §III-B) and
-// renews the client's write leases.
+// renews the client's write leases (O(the client's open files), via the
+// per-shard lease index).
 func (nn *Namenode) ClientHeartbeat(req nnapi.ClientHeartbeatReq) (nnapi.ClientHeartbeatResp, error) {
 	nn.registry.Update(req.Client, req.Speeds)
-	nn.mu.Lock()
 	nn.ns.renewLeases(req.Client, nn.clk.Now())
-	nn.mu.Unlock()
 	return nnapi.ClientHeartbeatResp{}, nil
 }
 
@@ -340,38 +377,27 @@ func (nn *Namenode) ClientHeartbeat(req nnapi.ClientHeartbeatReq) (nnapi.ClientH
 // then remote), so readers prefer close replicas; otherwise the order is
 // stable by name.
 func (nn *Namenode) GetBlockLocations(req nnapi.GetBlockLocationsReq) (nnapi.GetBlockLocationsResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, ok := nn.ns.files[req.Path]
+	v, length, ok := nn.ns.fileInfo(req.Path)
 	if !ok {
 		return nnapi.GetBlockLocationsResp{}, fmt.Errorf("%w: %s", ErrFileNotFound, req.Path)
 	}
-	resp := nnapi.GetBlockLocationsResp{Len: nn.ns.fileLength(f)}
-	for _, id := range f.blocks {
-		meta := nn.ns.blocks[id]
-		lb := block.LocatedBlock{Block: meta.cur}
-		for _, name := range nn.dm.aliveNames() {
-			if meta.locations[name] {
-				info, _ := nn.dm.lookup(name)
-				lb.Targets = append(lb.Targets, info)
-			}
+	resp := nnapi.GetBlockLocationsResp{Len: length}
+	for _, id := range v.blocks {
+		cur, _, holders, ok := nn.ns.blockView(id)
+		if !ok {
+			continue
 		}
-		if req.Client != "" {
-			sort.SliceStable(lb.Targets, func(i, j int) bool {
-				return nn.dm.topo.Distance(req.Client, lb.Targets[i].Name) <
-					nn.dm.topo.Distance(req.Client, lb.Targets[j].Name)
-			})
-		}
-		resp.Blocks = append(resp.Blocks, lb)
+		resp.Blocks = append(resp.Blocks, block.LocatedBlock{
+			Block:   cur,
+			Targets: nn.dm.orderedHolders(req.Client, holders),
+		})
 	}
 	return resp, nil
 }
 
 // Delete removes a file and schedules every replica for deletion.
 func (nn *Namenode) Delete(req nnapi.DeleteReq) (nnapi.DeleteResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.checkSafeModeLocked(); err != nil {
+	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.DeleteResp{}, err
 	}
 	stale, existed := nn.ns.deleteFile(req.Path)
@@ -385,9 +411,7 @@ func (nn *Namenode) Delete(req nnapi.DeleteReq) (nnapi.DeleteResp, error) {
 
 // Rename moves a file in the namespace.
 func (nn *Namenode) Rename(req nnapi.RenameReq) (nnapi.RenameResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.checkSafeModeLocked(); err != nil {
+	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.RenameResp{}, err
 	}
 	return nnapi.RenameResp{}, nn.ns.rename(req.Src, req.Dst)
@@ -395,25 +419,27 @@ func (nn *Namenode) Rename(req nnapi.RenameReq) (nnapi.RenameResp, error) {
 
 // List enumerates files under a path prefix with replication health.
 func (nn *Namenode) List(req nnapi.ListReq) (nnapi.ListResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	aliveSet := make(map[string]bool)
 	for _, n := range nn.dm.aliveNames() {
 		aliveSet[n] = true
 	}
 	var resp nnapi.ListResp
-	for _, f := range nn.ns.list(req.Prefix) {
+	for _, v := range nn.ns.list(req.Prefix) {
 		st := nnapi.FileStatus{
-			Path:            f.path,
-			Len:             nn.ns.fileLength(f),
-			Replication:     f.replication,
-			Complete:        f.complete,
-			NumBlocks:       len(f.blocks),
+			Path:            v.path,
+			Replication:     v.replication,
+			Complete:        v.complete,
+			NumBlocks:       len(v.blocks),
 			MinLiveReplicas: -1,
 		}
-		for _, id := range f.blocks {
+		for _, id := range v.blocks {
+			cur, _, holders, ok := nn.ns.blockView(id)
+			if !ok {
+				continue
+			}
+			st.Len += cur.NumBytes
 			live := 0
-			for holder := range nn.ns.blocks[id].locations {
+			for _, holder := range holders {
 				if aliveSet[holder] {
 					live++
 				}
@@ -432,31 +458,75 @@ func (nn *Namenode) List(req nnapi.ListReq) (nnapi.ListResp, error) {
 
 // GetFileInfo reports file metadata.
 func (nn *Namenode) GetFileInfo(req nnapi.GetFileInfoReq) (nnapi.GetFileInfoResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	f, ok := nn.ns.files[req.Path]
+	v, length, ok := nn.ns.fileInfo(req.Path)
 	if !ok {
 		return nnapi.GetFileInfoResp{Exists: false}, nil
 	}
 	return nnapi.GetFileInfoResp{
 		Exists:      true,
-		Complete:    f.complete,
-		Len:         nn.ns.fileLength(f),
-		Replication: f.replication,
-		BlockSize:   f.blockSize,
-		NumBlocks:   len(f.blocks),
+		Complete:    v.complete,
+		Len:         length,
+		Replication: v.replication,
+		BlockSize:   v.blockSize,
+		NumBlocks:   len(v.blocks),
 	}, nil
 }
 
 // ClusterInfo reports live cluster geometry.
 func (nn *Namenode) ClusterInfo(nnapi.ClusterInfoReq) (nnapi.ClusterInfoResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	return nnapi.ClusterInfoResp{
 		ActiveDatanodes: len(nn.dm.aliveNames()),
 		Racks:           nn.dm.numRacks(),
-		SafeMode:        nn.checkSafeModeLocked() != nil,
+		SafeMode:        nn.checkSafeMode() != nil,
 	}, nil
+}
+
+// Batch executes up to nnapi.MaxBatchEntries control-plane operations in
+// one RPC frame, strictly in entry order and never concurrently with
+// each other — so a [clientHeartbeat, addBlock] pair batched by a client
+// observes exactly the state sequence of two separate in-order RPCs.
+// Each entry succeeds or fails independently (a failed entry does not
+// abort the rest), and nested batches are rejected. Per-method latency
+// metrics and the nn_rpcs logical-operation counter are maintained per
+// entry, so batching changes frame counts, not accounting.
+func (nn *Namenode) Batch(req nnapi.BatchReq) (nnapi.BatchResp, error) {
+	if len(req.Entries) > nnapi.MaxBatchEntries {
+		return nnapi.BatchResp{}, fmt.Errorf("namenode: batch carries %d entries, cap is %d", len(req.Entries), nnapi.MaxBatchEntries)
+	}
+	results := make([]nnapi.BatchResult, len(req.Entries))
+	for i, e := range req.Entries {
+		h, ok := nn.batchable[e.Method]
+		if !ok {
+			results[i].Err = "namenode: method not batchable: " + e.Method
+			continue
+		}
+		nn.mRPCs.Inc()
+		mm, hasMM := nn.mm[e.Method]
+		var start time.Time
+		if hasMM {
+			start = time.Now()
+		}
+		v, err := h(e.Body)
+		if hasMM {
+			mm.lat.Observe(time.Since(start).Nanoseconds())
+			if err != nil {
+				mm.errs.Inc()
+			}
+		}
+		if err != nil {
+			results[i].Err = err.Error()
+			continue
+		}
+		if v != nil {
+			body, merr := json.Marshal(v)
+			if merr != nil {
+				results[i].Err = "namenode: encode batch result: " + merr.Error()
+				continue
+			}
+			results[i].Body = body
+		}
+	}
+	return nnapi.BatchResp{Results: results}, nil
 }
 
 // --- AdminProtocol ---
@@ -465,42 +535,41 @@ func (nn *Namenode) ClusterInfo(nnapi.ClusterInfoReq) (nnapi.ClusterInfoResp, er
 // from placement immediately and its blocks get copied elsewhere by the
 // replication scanner; it keeps serving reads and sourcing transfers.
 func (nn *Namenode) Decommission(req nnapi.DecommissionReq) (nnapi.DecommissionResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	if !nn.dm.setDecommissioning(req.Name, !req.Cancel) {
 		return nnapi.DecommissionResp{}, fmt.Errorf("namenode: unknown datanode %q", req.Name)
 	}
 	// Kick the next scan so drain work starts on the next heartbeat.
-	nn.repl.lastScan = time.Time{}
+	nn.repl.kick()
 	return nnapi.DecommissionResp{}, nil
 }
 
 // DecommissionStatus reports how many blocks still depend on the node.
 func (nn *Namenode) DecommissionStatus(req nnapi.DecommStatusReq) (nnapi.DecommStatusResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	resp := nnapi.DecommStatusResp{Decommissioning: nn.dm.isDecommissioning(req.Name)}
 	placeable := make(map[string]bool)
 	for _, n := range nn.dm.placeableNames() {
 		placeable[n] = true
 	}
-	for _, f := range nn.ns.files {
+	nn.ns.forEachFile(func(f *fileInode) {
 		for _, id := range f.blocks {
-			meta := nn.ns.blocks[id]
-			if !meta.locations[req.Name] {
+			_, _, holders, ok := nn.ns.blockView(id)
+			if !ok {
 				continue
 			}
-			good := 0
-			for holder := range meta.locations {
+			holds, good := false, 0
+			for _, holder := range holders {
+				if holder == req.Name {
+					holds = true
+				}
 				if placeable[holder] {
 					good++
 				}
 			}
-			if good < f.replication {
+			if holds && good < f.replication {
 				resp.RemainingBlocks++
 			}
 		}
-	}
+	})
 	resp.Done = resp.Decommissioning && resp.RemainingBlocks == 0
 	return resp, nil
 }
@@ -509,8 +578,6 @@ func (nn *Namenode) DecommissionStatus(req nnapi.DecommStatusReq) (nnapi.DecommS
 
 // Register announces a datanode and ingests its block report.
 func (nn *Namenode) Register(req nnapi.RegisterReq) (nnapi.RegisterResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	nn.dm.register(block.DatanodeInfo{Name: req.Name, Addr: req.Addr, Rack: req.Rack})
 	for _, b := range req.Blocks {
 		if err := nn.ns.blockReceived(req.Name, b); err != nil {
@@ -523,8 +590,6 @@ func (nn *Namenode) Register(req nnapi.RegisterReq) (nnapi.RegisterResp, error) 
 
 // Heartbeat refreshes liveness and drains invalidation work.
 func (nn *Namenode) Heartbeat(req nnapi.HeartbeatReq) (nnapi.HeartbeatResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
 	inv, known := nn.dm.heartbeat(req.Name, req.UsedBytes)
 	if !known {
 		return nnapi.HeartbeatResp{}, fmt.Errorf("namenode: heartbeat from unregistered datanode %q", req.Name)
@@ -535,15 +600,37 @@ func (nn *Namenode) Heartbeat(req nnapi.HeartbeatReq) (nnapi.HeartbeatResp, erro
 	}, nil
 }
 
+// blockReceivedOne ingests one finalized-replica report: record the
+// location (or schedule deletion of a stale/unknown replica), clear any
+// pending re-replication, and complete a balancer move it may finish.
+func (nn *Namenode) blockReceivedOne(name string, b block.Block) error {
+	if err := nn.ns.blockReceived(name, b); err != nil {
+		nn.dm.scheduleInvalidate(name, b.ID, b.Gen)
+		return err
+	}
+	nn.repl.satisfied(b.ID)
+	nn.completeBalancerMove(name, b)
+	return nil
+}
+
 // BlockReceived records a finalized replica.
 func (nn *Namenode) BlockReceived(req nnapi.BlockReceivedReq) (nnapi.BlockReceivedResp, error) {
-	nn.mu.Lock()
-	defer nn.mu.Unlock()
-	if err := nn.ns.blockReceived(req.Name, req.Block); err != nil {
-		nn.dm.scheduleInvalidate(req.Name, req.Block.ID, req.Block.Gen)
+	if err := nn.blockReceivedOne(req.Name, req.Block); err != nil {
 		return nnapi.BlockReceivedResp{}, err
 	}
-	nn.repl.satisfied(req.Block.ID)
-	nn.completeBalancerMove(req.Name, req.Block)
 	return nnapi.BlockReceivedResp{}, nil
+}
+
+// BlockReceivedBatch ingests a datanode's delta block report: every
+// replica finalized since the last report, in order, in one frame.
+// Rejected entries (unknown block or stale generation) are counted and
+// scheduled for deletion, exactly as the per-block RPC would.
+func (nn *Namenode) BlockReceivedBatch(req nnapi.BlockReceivedBatchReq) (nnapi.BlockReceivedBatchResp, error) {
+	var resp nnapi.BlockReceivedBatchResp
+	for _, b := range req.Blocks {
+		if err := nn.blockReceivedOne(req.Name, b); err != nil {
+			resp.Rejected++
+		}
+	}
+	return resp, nil
 }

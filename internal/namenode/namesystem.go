@@ -5,23 +5,45 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/block"
+	"repro/internal/obs"
 )
 
 // Namespace errors.
 var (
-	ErrFileExists      = errors.New("namenode: file already exists")
-	ErrFileNotFound    = errors.New("namenode: file not found")
-	ErrLeaseViolation  = errors.New("namenode: file is leased by another client")
-	ErrFileComplete    = errors.New("namenode: file is already complete")
-	ErrUnknownBlock    = errors.New("namenode: unknown block")
+	// ErrFileExists reports a create (or rename destination) over an
+	// existing path without Overwrite.
+	ErrFileExists = errors.New("namenode: file already exists")
+	// ErrFileNotFound reports an operation on a path with no inode.
+	ErrFileNotFound = errors.New("namenode: file not found")
+	// ErrLeaseViolation reports a write operation by a client that does
+	// not hold the file's lease.
+	ErrLeaseViolation = errors.New("namenode: file is leased by another client")
+	// ErrFileComplete reports a write operation on a finalized file.
+	ErrFileComplete = errors.New("namenode: file is already complete")
+	// ErrUnknownBlock reports an operation on a block ID the block manager
+	// does not track.
+	ErrUnknownBlock = errors.New("namenode: unknown block")
+	// ErrStaleGeneration reports a replica whose generation stamp predates
+	// the block's current one (a pre-recovery leftover).
 	ErrStaleGeneration = errors.New("namenode: stale block generation")
-	ErrSafeMode        = errors.New("namenode: in safe mode (block reports still incomplete)")
+	// ErrSafeMode reports a namespace mutation attempted before block
+	// reports re-established replica locations after a restart.
+	ErrSafeMode = errors.New("namenode: in safe mode (block reports still incomplete)")
 )
 
-// fileInode is one entry in the namespace.
+// DefaultShards is the default number of namespace shards (and block
+// stripes). Shard routing hashes the parent directory, so files in one
+// directory share a shard while independent directories proceed in
+// parallel; see DESIGN.md §12.
+const DefaultShards = 16
+
+// fileInode is one entry in the namespace. Its fields are guarded by the
+// shard that owns its path.
 type fileInode struct {
 	path        string
 	blocks      []block.ID
@@ -34,61 +56,192 @@ type fileInode struct {
 	renewed time.Time
 }
 
-// blockMeta is the block manager's record for one block.
+// blockMeta is the block manager's record for one block, guarded by the
+// stripe that owns its ID.
 type blockMeta struct {
 	cur       block.Block // authoritative generation and committed length
 	path      string
 	locations map[string]bool // datanode name -> holds a finalized replica
+	// replication and complete mirror the owning file so the replication
+	// sweep can judge a block from its stripe alone, without chasing the
+	// inode across a shard lock. replication is fixed at allocation;
+	// complete flips once, when the file completes.
+	replication int
+	complete    bool
 }
 
-// namesystem is the namespace plus block manager. Methods are called with
-// the namenode lock held (mirroring FSNamesystem's global lock).
+// nsShard holds one hash slice of the namespace: the inodes plus a lease
+// index (client -> path -> inode, under-construction files only) so
+// lease renewal and expiry never scan completed files.
+type nsShard struct {
+	mu     sync.Mutex
+	files  map[string]*fileInode
+	leases map[string]map[string]*fileInode
+}
+
+// blockStripe holds one hash slice of the block manager. Block state
+// transitions (received replicas, generation bumps) touch only a stripe,
+// so datanode reports never contend with namespace operations.
+type blockStripe struct {
+	mu     sync.Mutex
+	blocks map[block.ID]*blockMeta
+}
+
+// namesystem is the namespace plus block manager, sharded for
+// concurrency. Shard routing is a pure hash — no lock guards the shard
+// table itself — and every method locks only the shards/stripes it
+// touches. Lock order (see DESIGN.md §12): a shard may be held while
+// acquiring a stripe, the datanode manager, or the replication manager;
+// never the reverse. At most one stripe is held at a time.
 type namesystem struct {
-	files     map[string]*fileInode
-	blocks    map[block.ID]*blockMeta
-	nextBlock block.ID
-	nextGen   block.GenStamp
+	shards  []*nsShard
+	stripes []*blockStripe
+	// nextBlock and nextGen are global atomic counters, so allocation
+	// never serializes on a shard.
+	nextBlock atomic.Int64
+	nextGen   atomic.Uint64
+	// contention counts failed TryLocks on shards and stripes (nil-safe).
+	contention *obs.Counter
 }
 
-func newNamesystem() *namesystem {
-	return &namesystem{
-		files:  make(map[string]*fileInode),
-		blocks: make(map[block.ID]*blockMeta),
+// newNamesystem builds a namesystem with the given shard count, rounded
+// up to a power of two (minimum 1). contention may be nil.
+func newNamesystem(shardCount int, contention *obs.Counter) *namesystem {
+	n := 1
+	for n < shardCount {
+		n <<= 1
+	}
+	ns := &namesystem{
+		shards:     make([]*nsShard, n),
+		stripes:    make([]*blockStripe, n),
+		contention: contention,
+	}
+	for i := range ns.shards {
+		ns.shards[i] = &nsShard{
+			files:  make(map[string]*fileInode),
+			leases: make(map[string]map[string]*fileInode),
+		}
+		ns.stripes[i] = &blockStripe{blocks: make(map[block.ID]*blockMeta)}
+	}
+	return ns
+}
+
+// parentDir returns the directory prefix of path (up to the last '/'),
+// the shard-routing key: files in one directory stay on one shard.
+func parentDir(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i > 0 {
+		return path[:i]
+	}
+	return "/"
+}
+
+// fnv1a is the 32-bit FNV-1a hash, inlined so shard routing never
+// allocates a hash.Hash.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (ns *namesystem) shardFor(path string) *nsShard {
+	return ns.shards[fnv1a(parentDir(path))&uint32(len(ns.shards)-1)]
+}
+
+func (ns *namesystem) stripeFor(id block.ID) *blockStripe {
+	return ns.stripes[uint32(id)&uint32(len(ns.stripes)-1)]
+}
+
+// lockShard acquires s.mu, counting the acquisition as contended when a
+// TryLock fails first (the shard-contention signal in obs).
+func (ns *namesystem) lockShard(s *nsShard) {
+	if s.mu.TryLock() {
+		return
+	}
+	ns.contention.Inc()
+	s.mu.Lock()
+}
+
+func (ns *namesystem) lockStripe(st *blockStripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	ns.contention.Inc()
+	st.mu.Lock()
+}
+
+// --- lease index (per shard, caller holds the shard lock) ---
+
+func (s *nsShard) addLeaseLocked(f *fileInode) {
+	byPath := s.leases[f.client]
+	if byPath == nil {
+		byPath = make(map[string]*fileInode)
+		s.leases[f.client] = byPath
+	}
+	byPath[f.path] = f
+}
+
+func (s *nsShard) dropLeaseLocked(client, path string) {
+	if byPath := s.leases[client]; byPath != nil {
+		delete(byPath, path)
+		if len(byPath) == 0 {
+			delete(s.leases, client)
+		}
 	}
 }
 
-func (ns *namesystem) create(path, client string, replication int, blockSize int64, overwrite bool) error {
+// --- namespace operations ---
+
+// create makes a new inode (overwrite replaces an existing one) and
+// records its lease, renewed as of now.
+func (ns *namesystem) create(path, client string, replication int, blockSize int64, overwrite bool, now time.Time) error {
 	if replication < 1 {
 		replication = 1
 	}
 	if blockSize <= 0 {
 		return fmt.Errorf("namenode: invalid block size %d", blockSize)
 	}
-	if old, exists := ns.files[path]; exists {
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	if old, exists := s.files[path]; exists {
 		if !overwrite {
 			return fmt.Errorf("%w: %s", ErrFileExists, path)
 		}
-		ns.removeInode(old)
+		ns.removeInodeLocked(s, old)
 	}
-	ns.files[path] = &fileInode{
+	f := &fileInode{
 		path:        path,
 		replication: replication,
 		blockSize:   blockSize,
 		client:      client,
+		renewed:     now,
 	}
+	s.files[path] = f
+	s.addLeaseLocked(f)
 	return nil
 }
 
-func (ns *namesystem) removeInode(f *fileInode) {
+// removeInodeLocked drops f and its blocks. Caller holds f's shard.
+func (ns *namesystem) removeInodeLocked(s *nsShard, f *fileInode) {
 	for _, id := range f.blocks {
-		delete(ns.blocks, id)
+		st := ns.stripeFor(id)
+		ns.lockStripe(st)
+		delete(st.blocks, id)
+		st.mu.Unlock()
 	}
-	delete(ns.files, f.path)
+	delete(s.files, f.path)
+	if !f.complete {
+		s.dropLeaseLocked(f.client, f.path)
+	}
 }
 
-// checkLease fetches an under-construction file owned by client.
-func (ns *namesystem) checkLease(path, client string) (*fileInode, error) {
-	f, ok := ns.files[path]
+// checkLeaseLocked fetches an under-construction file owned by client.
+// Caller holds the path's shard.
+func (s *nsShard) checkLeaseLocked(path, client string) (*fileInode, error) {
+	f, ok := s.files[path]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrFileNotFound, path)
 	}
@@ -101,32 +254,67 @@ func (ns *namesystem) checkLease(path, client string) (*fileInode, error) {
 	return f, nil
 }
 
-// allocateBlock appends a fresh block to the file.
-func (ns *namesystem) allocateBlock(f *fileInode) block.Block {
-	ns.nextBlock++
-	ns.nextGen++
-	b := block.Block{ID: ns.nextBlock, Gen: ns.nextGen}
-	f.blocks = append(f.blocks, b.ID)
-	ns.blocks[b.ID] = &blockMeta{
-		cur:       b,
-		path:      f.path,
-		locations: make(map[string]bool),
+// addBlock performs the locked portion of an addBlock RPC: lease check,
+// lease renewal, placement (via choose, which runs under the shard lock
+// and may take the datanode manager's lock), and the allocation itself —
+// reusing an orphaned tail from a retried request when prev identifies
+// one. reused reports whether the returned block is such a tail.
+func (ns *namesystem) addBlock(path, client string, prev block.Block, now time.Time,
+	choose func(replication int) ([]block.DatanodeInfo, error)) (b block.Block, targets []block.DatanodeInfo, reused bool, err error) {
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, err := s.checkLeaseLocked(path, client)
+	if err != nil {
+		return block.Block{}, nil, false, err
 	}
+	f.renewed = now
+	targets, err = choose(f.replication)
+	if err != nil {
+		return block.Block{}, nil, false, err
+	}
+	if tail, ok := ns.reusableTailLocked(f, prev); ok {
+		return tail, targets, true, nil
+	}
+	return ns.allocateBlockLocked(f), targets, false, nil
+}
+
+// allocateBlockLocked appends a fresh block to the file. Caller holds
+// f's shard.
+func (ns *namesystem) allocateBlockLocked(f *fileInode) block.Block {
+	b := block.Block{
+		ID:  block.ID(ns.nextBlock.Add(1)),
+		Gen: block.GenStamp(ns.nextGen.Add(1)),
+	}
+	f.blocks = append(f.blocks, b.ID)
+	st := ns.stripeFor(b.ID)
+	ns.lockStripe(st)
+	st.blocks[b.ID] = &blockMeta{
+		cur:         b,
+		path:        f.path,
+		locations:   make(map[string]bool),
+		replication: f.replication,
+	}
+	st.mu.Unlock()
 	return b
 }
 
-// reusableTail detects a retried addBlock: prev is the last block the
-// client acknowledges having been granted. If the file's tail is a
+// reusableTailLocked detects a retried addBlock: prev is the last block
+// the client acknowledges having been granted. If the file's tail is a
 // different block that holds no data and no finalized replicas, it was
 // allocated by an earlier attempt of this very request whose response
 // the client never saw (a timed-out RPC the namenode still executed),
 // so it is handed back for reuse instead of orphaning it.
-func (ns *namesystem) reusableTail(f *fileInode, prev block.Block) (block.Block, bool) {
+func (ns *namesystem) reusableTailLocked(f *fileInode, prev block.Block) (block.Block, bool) {
 	if len(f.blocks) == 0 {
 		return block.Block{}, false
 	}
-	meta := ns.blocks[f.blocks[len(f.blocks)-1]]
-	if meta.cur.ID == prev.ID || len(meta.locations) > 0 || meta.cur.NumBytes > 0 {
+	id := f.blocks[len(f.blocks)-1]
+	st := ns.stripeFor(id)
+	ns.lockStripe(st)
+	defer st.mu.Unlock()
+	meta := st.blocks[id]
+	if meta == nil || meta.cur.ID == prev.ID || len(meta.locations) > 0 || meta.cur.NumBytes > 0 {
 		return block.Block{}, false
 	}
 	return meta.cur, true
@@ -135,19 +323,34 @@ func (ns *namesystem) reusableTail(f *fileInode, prev block.Block) (block.Block,
 // abandonBlock removes an allocated block from its file. Only the last
 // block may be abandoned, and only while it has no finalized replicas —
 // otherwise the caller should recover instead.
-func (ns *namesystem) abandonBlock(f *fileInode, b block.Block) error {
+func (ns *namesystem) abandonBlock(path, client string, b block.Block) error {
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, err := s.checkLeaseLocked(path, client)
+	if err != nil {
+		return err
+	}
 	if len(f.blocks) == 0 || f.blocks[len(f.blocks)-1] != b.ID {
 		return fmt.Errorf("%w: %v is not the last block of %s", ErrUnknownBlock, b, f.path)
 	}
 	f.blocks = f.blocks[:len(f.blocks)-1]
-	delete(ns.blocks, b.ID)
+	st := ns.stripeFor(b.ID)
+	ns.lockStripe(st)
+	delete(st.blocks, b.ID)
+	st.mu.Unlock()
 	return nil
 }
 
 // blockReceived records a finalized replica. Replicas with a stale
 // generation are rejected (the datanode will be told to delete them).
+// It touches only the block's stripe, so concurrent reports from many
+// datanodes never contend with namespace operations.
 func (ns *namesystem) blockReceived(dn string, b block.Block) error {
-	meta, ok := ns.blocks[b.ID]
+	st := ns.stripeFor(b.ID)
+	ns.lockStripe(st)
+	defer st.mu.Unlock()
+	meta, ok := st.blocks[b.ID]
 	if !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownBlock, b)
 	}
@@ -161,12 +364,26 @@ func (ns *namesystem) blockReceived(dn string, b block.Block) error {
 	return nil
 }
 
-// recoverBlock bumps the block's generation stamp and forgets replica
-// locations recorded under the old generation; surviving datanodes will
-// re-report after the client re-streams.
-func (ns *namesystem) recoverBlock(f *fileInode, b block.Block) (block.Block, []string, error) {
-	meta, ok := ns.blocks[b.ID]
+// recoverBlock bumps the block's generation stamp, forgets replica
+// locations recorded under the old generation (surviving datanodes will
+// re-report after the client re-streams), and rebuilds the pipeline via
+// retarget, which runs under the shard lock with the stale holder list.
+func (ns *namesystem) recoverBlock(path, client string, b block.Block, now time.Time,
+	retarget func(replication int, stale []string) ([]block.DatanodeInfo, error)) (block.Block, []block.DatanodeInfo, error) {
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, err := s.checkLeaseLocked(path, client)
+	if err != nil {
+		return block.Block{}, nil, err
+	}
+	f.renewed = now
+
+	st := ns.stripeFor(b.ID)
+	ns.lockStripe(st)
+	meta, ok := st.blocks[b.ID]
 	if !ok || meta.path != f.path {
+		st.mu.Unlock()
 		return block.Block{}, nil, fmt.Errorf("%w: %v", ErrUnknownBlock, b)
 	}
 	stale := make([]string, 0, len(meta.locations))
@@ -174,17 +391,26 @@ func (ns *namesystem) recoverBlock(f *fileInode, b block.Block) (block.Block, []
 		stale = append(stale, dn)
 	}
 	sort.Strings(stale)
-	ns.nextGen++
-	meta.cur.Gen = ns.nextGen
+	meta.cur.Gen = block.GenStamp(ns.nextGen.Add(1))
 	meta.cur.NumBytes = 0
 	meta.locations = make(map[string]bool)
-	return meta.cur, stale, nil
+	newBlock := meta.cur
+	st.mu.Unlock()
+
+	targets, err := retarget(f.replication, stale)
+	if err != nil {
+		return block.Block{}, nil, err
+	}
+	return newBlock, targets, nil
 }
 
 // complete finalizes the file when every block has at least one
 // finalized replica (HDFS's minimal-replication rule).
 func (ns *namesystem) complete(path, client string) (bool, error) {
-	f, err := ns.checkLease(path, client)
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, err := s.checkLeaseLocked(path, client)
 	if err != nil {
 		if errors.Is(err, ErrFileComplete) {
 			return true, nil // idempotent completion
@@ -192,20 +418,75 @@ func (ns *namesystem) complete(path, client string) (bool, error) {
 		return false, err
 	}
 	for _, id := range f.blocks {
-		if len(ns.blocks[id].locations) == 0 {
+		if n, _, ok := ns.replicaCount(id); !ok || n == 0 {
 			return false, nil
 		}
 	}
 	f.complete = true
+	s.dropLeaseLocked(f.client, f.path)
 	f.client = ""
+	// Mirror completion onto the block metas so the replication sweep
+	// starts watching these blocks (one stripe at a time; shard → stripe
+	// is the documented order).
+	for _, id := range f.blocks {
+		st := ns.stripeFor(id)
+		ns.lockStripe(st)
+		if meta, found := st.blocks[id]; found {
+			meta.complete = true
+		}
+		st.mu.Unlock()
+	}
 	return true, nil
 }
 
-// fileLength sums committed block lengths.
-func (ns *namesystem) fileLength(f *fileInode) int64 {
+// replicaCount reports a block's finalized-replica count and committed
+// length (stripe-locked internally).
+func (ns *namesystem) replicaCount(id block.ID) (replicas int, bytes int64, ok bool) {
+	st := ns.stripeFor(id)
+	ns.lockStripe(st)
+	defer st.mu.Unlock()
+	meta, found := st.blocks[id]
+	if !found {
+		return 0, 0, false
+	}
+	return len(meta.locations), meta.cur.NumBytes, true
+}
+
+// blockView snapshots one block's state: current block (generation and
+// committed length), owning path, and sorted holder names.
+func (ns *namesystem) blockView(id block.ID) (cur block.Block, path string, holders []string, ok bool) {
+	st := ns.stripeFor(id)
+	ns.lockStripe(st)
+	defer st.mu.Unlock()
+	meta, found := st.blocks[id]
+	if !found {
+		return block.Block{}, "", nil, false
+	}
+	holders = make([]string, 0, len(meta.locations))
+	for dn := range meta.locations {
+		holders = append(holders, dn)
+	}
+	sort.Strings(holders)
+	return meta.cur, meta.path, holders, true
+}
+
+// dropLocation forgets one replica holder of a block (balancer
+// copy-then-delete completion).
+func (ns *namesystem) dropLocation(id block.ID, dn string) {
+	st := ns.stripeFor(id)
+	ns.lockStripe(st)
+	if meta, ok := st.blocks[id]; ok {
+		delete(meta.locations, dn)
+	}
+	st.mu.Unlock()
+}
+
+// fileLengthLocked sums committed block lengths. Caller holds f's shard.
+func (ns *namesystem) fileLengthLocked(f *fileInode) int64 {
 	var total int64
 	for _, id := range f.blocks {
-		total += ns.blocks[id].cur.NumBytes
+		_, bytes, _ := ns.replicaCount(id)
+		total += bytes
 	}
 	return total
 }
@@ -214,86 +495,298 @@ func (ns *namesystem) fileLength(f *fileInode) int64 {
 // held replicas (so the caller can schedule invalidations). It reports
 // whether the file existed.
 func (ns *namesystem) deleteFile(path string) (stale map[string][]block.Block, existed bool) {
-	f, ok := ns.files[path]
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
 	if !ok {
 		return nil, false
 	}
 	stale = make(map[string][]block.Block)
 	for _, id := range f.blocks {
-		meta := ns.blocks[id]
-		for dn := range meta.locations {
-			stale[dn] = append(stale[dn], meta.cur)
+		cur, _, holders, ok := ns.blockView(id)
+		if !ok {
+			continue
+		}
+		for _, dn := range holders {
+			stale[dn] = append(stale[dn], cur)
 		}
 	}
-	ns.removeInode(f)
+	ns.removeInodeLocked(s, f)
 	return stale, true
 }
 
-// rename moves a file. The destination must not exist.
+// rename moves a file. The destination must not exist. When source and
+// destination hash to different shards, both are locked in index order
+// so concurrent cross-shard renames cannot deadlock.
 func (ns *namesystem) rename(src, dst string) error {
-	f, ok := ns.files[src]
+	ss, ds := ns.shardFor(src), ns.shardFor(dst)
+	if ss == ds {
+		ns.lockShard(ss)
+		defer ss.mu.Unlock()
+	} else {
+		first, second := ss, ds
+		if ns.shardIndex(ds) < ns.shardIndex(ss) {
+			first, second = ds, ss
+		}
+		ns.lockShard(first)
+		defer first.mu.Unlock()
+		ns.lockShard(second)
+		defer second.mu.Unlock()
+	}
+	f, ok := ss.files[src]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrFileNotFound, src)
 	}
-	if _, exists := ns.files[dst]; exists {
+	if _, exists := ds.files[dst]; exists {
 		return fmt.Errorf("%w: %s", ErrFileExists, dst)
 	}
-	delete(ns.files, src)
+	delete(ss.files, src)
+	if !f.complete {
+		ss.dropLeaseLocked(f.client, src)
+	}
 	f.path = dst
-	ns.files[dst] = f
+	ds.files[dst] = f
+	if !f.complete {
+		ds.addLeaseLocked(f)
+	}
 	for _, id := range f.blocks {
-		ns.blocks[id].path = dst
+		st := ns.stripeFor(id)
+		ns.lockStripe(st)
+		if meta, ok := st.blocks[id]; ok {
+			meta.path = dst
+		}
+		st.mu.Unlock()
 	}
 	return nil
 }
 
-// list returns files under a path prefix, sorted by path.
-func (ns *namesystem) list(prefix string) []*fileInode {
-	var out []*fileInode
-	for path, f := range ns.files {
-		if strings.HasPrefix(path, prefix) {
-			out = append(out, f)
+func (ns *namesystem) shardIndex(s *nsShard) int {
+	for i, cand := range ns.shards {
+		if cand == s {
+			return i
 		}
+	}
+	return -1
+}
+
+// fileView is a copied snapshot of an inode, safe to use after the shard
+// lock is released.
+type fileView struct {
+	path        string
+	client      string
+	replication int
+	blockSize   int64
+	complete    bool
+	blocks      []block.ID
+}
+
+func viewOfLocked(f *fileInode) fileView {
+	return fileView{
+		path:        f.path,
+		client:      f.client,
+		replication: f.replication,
+		blockSize:   f.blockSize,
+		complete:    f.complete,
+		blocks:      append([]block.ID(nil), f.blocks...),
+	}
+}
+
+// fileInfo snapshots one file (plus its committed length).
+func (ns *namesystem) fileInfo(path string) (fileView, int64, bool) {
+	s := ns.shardFor(path)
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	f, ok := s.files[path]
+	if !ok {
+		return fileView{}, 0, false
+	}
+	return viewOfLocked(f), ns.fileLengthLocked(f), true
+}
+
+// list returns snapshots of files under a path prefix, sorted by path.
+func (ns *namesystem) list(prefix string) []fileView {
+	var out []fileView
+	for _, s := range ns.shards {
+		ns.lockShard(s)
+		for path, f := range s.files {
+			if strings.HasPrefix(path, prefix) {
+				out = append(out, viewOfLocked(f))
+			}
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
 	return out
+}
+
+// forEachFile runs fn for every inode, shard by shard, under that
+// shard's lock. fn may take stripe, datanode-manager, or
+// replication-manager locks (the documented lock order), but must not
+// touch other shards.
+func (ns *namesystem) forEachFile(fn func(f *fileInode)) {
+	for _, s := range ns.shards {
+		ns.lockShard(s)
+		for _, f := range s.files {
+			fn(f)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// fileCount reports how many inodes exist across all shards.
+func (ns *namesystem) fileCount() int {
+	n := 0
+	for _, s := range ns.shards {
+		ns.lockShard(s)
+		n += len(s.files)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // renewLeases refreshes every under-construction file held by client.
+// The per-shard lease index makes this O(files the client is writing),
+// not O(namespace) — the scan that made client heartbeats the namenode's
+// most expensive RPC under load.
 func (ns *namesystem) renewLeases(client string, now time.Time) {
-	for _, f := range ns.files {
-		if !f.complete && f.client == client {
+	for _, s := range ns.shards {
+		ns.lockShard(s)
+		for _, f := range s.leases[client] {
 			f.renewed = now
 		}
+		s.mu.Unlock()
 	}
 }
 
-// expiredLeases returns under-construction files whose lease is older
-// than timeout.
-func (ns *namesystem) expiredLeases(now time.Time, timeout time.Duration) []*fileInode {
-	var out []*fileInode
-	for _, f := range ns.files {
-		if !f.complete && now.Sub(f.renewed) > timeout {
-			out = append(out, f)
+// recoverExpired force-finalizes files whose writer has been silent
+// longer than timeout: blocks that never got a finalized replica are
+// dropped (the dead client's unflushed tail), the rest are kept, and the
+// file completes so other clients can use it. The lease index bounds the
+// scan to under-construction files only.
+func (ns *namesystem) recoverExpired(now time.Time, timeout time.Duration) {
+	for _, s := range ns.shards {
+		ns.lockShard(s)
+		var expired []*fileInode
+		for _, byPath := range s.leases {
+			for _, f := range byPath {
+				if now.Sub(f.renewed) > timeout {
+					expired = append(expired, f)
+				}
+			}
 		}
+		sort.Slice(expired, func(i, j int) bool { return expired[i].path < expired[j].path })
+		for _, f := range expired {
+			ns.recoverLeaseLocked(s, f)
+		}
+		s.mu.Unlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
-	return out
 }
 
-// recoverLease force-finalizes an abandoned file: blocks that never got a
-// finalized replica are dropped (the dead client's unflushed tail), the
-// rest are kept, and the file completes so other clients can use it.
-func (ns *namesystem) recoverLease(f *fileInode) {
+// recoverLeaseLocked finalizes one abandoned file. Caller holds f's
+// shard.
+func (ns *namesystem) recoverLeaseLocked(s *nsShard, f *fileInode) {
 	kept := f.blocks[:0]
 	for _, id := range f.blocks {
-		if len(ns.blocks[id].locations) > 0 {
+		st := ns.stripeFor(id)
+		ns.lockStripe(st)
+		meta := st.blocks[id]
+		if meta != nil && len(meta.locations) > 0 {
 			kept = append(kept, id)
-		} else {
-			delete(ns.blocks, id)
+			st.mu.Unlock()
+			continue
 		}
+		delete(st.blocks, id)
+		st.mu.Unlock()
 	}
 	f.blocks = kept
+	s.dropLeaseLocked(f.client, f.path)
 	f.complete = true
 	f.client = ""
+}
+
+// anyUnreportedBlock reports whether some block still has zero reported
+// replicas — the safe-mode exit condition after a restart.
+func (ns *namesystem) anyUnreportedBlock() bool {
+	for _, st := range ns.stripes {
+		ns.lockStripe(st)
+		for _, meta := range st.blocks {
+			if len(meta.locations) == 0 {
+				st.mu.Unlock()
+				return true
+			}
+		}
+		st.mu.Unlock()
+	}
+	return false
+}
+
+// restore inserts a checkpointed file and its block metadata (fsimage
+// load into an empty namesystem).
+func (ns *namesystem) restore(f *fileInode, metas []block.Block) {
+	s := ns.shardFor(f.path)
+	ns.lockShard(s)
+	s.files[f.path] = f
+	if !f.complete {
+		s.addLeaseLocked(f)
+	}
+	s.mu.Unlock()
+	for _, b := range metas {
+		st := ns.stripeFor(b.ID)
+		ns.lockStripe(st)
+		st.blocks[b.ID] = &blockMeta{
+			cur:         b,
+			path:        f.path,
+			locations:   make(map[string]bool),
+			replication: f.replication,
+			complete:    f.complete,
+		}
+		st.mu.Unlock()
+	}
+}
+
+// underReplicated sweeps the block manager for complete blocks whose
+// placeable-replica count is below their replication factor, invoking
+// visit for each with a copy of its holder set (sorted). The sweep
+// iterates each stripe once under its lock with no per-block work
+// beyond map lookups — healthy blocks cost a few probes of placeable —
+// so its cost stays flat as the namespace grows and visit (which may
+// take the datanode-manager and replication locks) runs with no stripe
+// held. This is the maintenance path; it trades exactness under
+// concurrent mutation for never stalling foreground operations.
+func (ns *namesystem) underReplicated(placeable map[string]bool, visit func(cur block.Block, holders []string, missing int)) {
+	type cand struct {
+		cur     block.Block
+		holders []string
+		missing int
+	}
+	var cands []cand
+	for _, st := range ns.stripes {
+		cands = cands[:0]
+		ns.lockStripe(st)
+		for _, meta := range st.blocks {
+			if !meta.complete {
+				continue // under-construction blocks are the writer's job
+			}
+			good := 0
+			for dn := range meta.locations {
+				if placeable[dn] {
+					good++
+				}
+			}
+			if good >= meta.replication || len(meta.locations) == 0 {
+				continue
+			}
+			holders := make([]string, 0, len(meta.locations))
+			for dn := range meta.locations {
+				holders = append(holders, dn)
+			}
+			sort.Strings(holders)
+			cands = append(cands, cand{cur: meta.cur, holders: holders, missing: meta.replication - good})
+		}
+		st.mu.Unlock()
+		for _, c := range cands {
+			visit(c.cur, c.holders, c.missing)
+		}
+	}
 }

@@ -11,8 +11,10 @@ import (
 // ErrNoDatanodes is returned when placement cannot find a single target.
 var ErrNoDatanodes = errors.New("namenode: no available datanodes")
 
-// placement chooses pipelines. Implementations run under the namenode
-// lock, so they may use the shared rng without further synchronization.
+// placement chooses pipelines. Implementations run with the datanode
+// manager's lock held for the whole choose() — Namenode.place acquires
+// it — so topology reads and the shared placement rng need no further
+// synchronization, and one choose() observes a consistent cluster view.
 type placement interface {
 	// choose returns up to replication target datanodes for a new block
 	// written by client, never including names in exclude. Fewer targets
@@ -43,7 +45,7 @@ func newPicker(dm *datanodeManager, rng *rand.Rand, exclude []string) *picker {
 	for _, e := range exclude {
 		p.used[e] = true
 	}
-	for _, n := range dm.placeableNames() {
+	for _, n := range dm.placeableNamesLocked() {
 		p.alive[n] = true
 	}
 	return p
@@ -62,7 +64,7 @@ func (p *picker) add(name string, ok bool) bool {
 	if !ok || p.used[name] || !p.alive[name] {
 		return false
 	}
-	info, known := p.dm.lookup(name)
+	info, known := p.dm.lookupLocked(name)
 	if !known {
 		return false
 	}
@@ -176,7 +178,7 @@ func (s *smarthPlacement) choose(client string, replication int, exclude []strin
 	}
 	p := newPicker(s.dm, s.rng, exclude)
 	candidates := make([]string, 0, len(p.alive))
-	for _, n := range s.dm.placeableNames() {
+	for _, n := range s.dm.placeableNamesLocked() {
 		if !p.used[n] {
 			candidates = append(candidates, n)
 		}

@@ -122,10 +122,13 @@ func (s *Server) SetObserver(fn Observer) {
 	s.mu.Unlock()
 }
 
-// Handle installs a typed handler: the request body decodes into Req and
-// the returned Resp encodes into the response body.
-func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
-	s.RegisterFunc(method, func(body []byte) (any, error) {
+// HandlerFor adapts a typed method function into a raw Handler: the
+// request body decodes into Req and the returned Resp encodes into the
+// response body. It is exported so servers that re-dispatch internally
+// (the namenode's batch RPC) can route a sub-request through exactly the
+// same decode/execute path as a standalone call.
+func HandlerFor[Req, Resp any](method string, fn func(Req) (Resp, error)) Handler {
+	return func(body []byte) (any, error) {
 		var req Req
 		if len(body) > 0 {
 			if err := json.Unmarshal(body, &req); err != nil {
@@ -133,7 +136,12 @@ func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error))
 			}
 		}
 		return fn(req)
-	})
+	}
+}
+
+// Handle installs a typed handler for method (see HandlerFor).
+func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	s.RegisterFunc(method, HandlerFor(method, fn))
 }
 
 // Serve accepts connections on l until the listener closes. It returns
