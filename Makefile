@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race docs-check bench-hotpath bench-check profile conformance
+.PHONY: build test vet lint race docs-check bench-hotpath bench-check profile conformance
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# The repo's own invariants-as-code suite (DESIGN.md §13): packet/buffer
+# ownership, namenode lock ranking, sim determinism, obs nil-safety.
+# Also runs as a vet tool: go vet -vettool=$(go env GOPATH)/bin/smarth-vet ./...
+lint:
+	$(GO) run ./cmd/smarth-vet ./...
+
+# -count=1 defeats the test cache so the race detector actually re-runs
+# the full suite (a cached "ok" proves nothing about the current build).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
 # Fail if any package under internal/ or cmd/ lacks a package comment
 # (the godoc surface ARCHITECTURE.md builds on).

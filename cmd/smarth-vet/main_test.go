@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module
+// root so the smoke runs resolve `./internal/...` patterns.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRunCleanPackages is the smoke test: the full suite loads,
+// typechecks real repo packages through the export-data importer, and
+// exits 0 on code that honors the invariants.
+func TestRunCleanPackages(t *testing.T) {
+	wd, _ := os.Getwd()
+	if err := os.Chdir(repoRoot(t)); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./internal/bufpool", "./internal/obs", "./internal/writesched"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestRunFindsSeededFault proves the wiring end to end: a package with
+// a planted determinism fault makes the standalone driver exit nonzero
+// and name the analyzer in its output. (The fault is a wall-clock read
+// in a package named writesched — simdeterminism matches deterministic
+// packages by name, so no repro import is needed.)
+func TestRunFindsSeededFault(t *testing.T) {
+	dir := t.TempDir()
+	src := `package writesched
+
+import "time"
+
+func stamp() int64 {
+	return time.Now().UnixNano()
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "faulty.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module faultymod\n\ngo 1.22\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	wd, _ := os.Getwd()
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[simdeterminism]") {
+		t.Fatalf("expected a simdeterminism finding, got stdout:\n%s\nstderr:\n%s", stdout.String(), stderr.String())
+	}
+}
+
+// TestVetProtocolHandshake covers the go vet driver surface: -V=full
+// prints a version line and -flags prints valid JSON flag definitions.
+func TestVetProtocolHandshake(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-V=full"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-V=full exit %d", code)
+	}
+	if !strings.Contains(stdout.String(), "buildID=") {
+		t.Fatalf("-V=full output missing buildID: %q", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-flags"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-flags exit %d", code)
+	}
+	var defs []struct {
+		Name string
+		Bool bool
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &defs); err != nil {
+		t.Fatalf("-flags output not JSON: %v\n%s", err, stdout.String())
+	}
+	if len(defs) != len(suite) {
+		t.Fatalf("-flags described %d analyzers, want %d", len(defs), len(suite))
+	}
+}
+
+// TestVetCfgMode drives the per-package .cfg protocol the go command
+// uses, against a real repo package resolved via `go list -export`.
+func TestVetCfgMode(t *testing.T) {
+	root := repoRoot(t)
+	pkgs, err := listExport(t, root, "repro/internal/bufpool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, ok := pkgs["repro/internal/bufpool"]
+	if !ok {
+		t.Fatal("go list did not return repro/internal/bufpool")
+	}
+
+	importMap := make(map[string]string)
+	packageFile := make(map[string]string)
+	for path, p := range pkgs {
+		importMap[path] = path
+		if p.Export != "" {
+			packageFile[path] = p.Export
+		}
+	}
+	goFiles := make([]string, len(target.GoFiles))
+	for i, f := range target.GoFiles {
+		goFiles[i] = filepath.Join(target.Dir, f)
+	}
+
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "out.vetx")
+	cfg := map[string]any{
+		"ID":          "repro/internal/bufpool",
+		"Dir":         target.Dir,
+		"ImportPath":  "repro/internal/bufpool",
+		"GoFiles":     goFiles,
+		"ImportMap":   importMap,
+		"PackageFile": packageFile,
+		"VetxOutput":  vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "vet.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{cfgPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("cfg mode exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Fatalf("VetxOutput not written: %v", err)
+	}
+}
+
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+}
+
+// listExport shells out to `go list -e -export -deps -json` the same
+// way the loader does, keyed by import path.
+func listExport(t *testing.T, dir, pattern string) (map[string]*listedPkg, error) {
+	t.Helper()
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json=Dir,ImportPath,Export,GoFiles", pattern)
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make(map[string]*listedPkg)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, err
+		}
+		pkgs[p.ImportPath] = &p
+	}
+	return pkgs, nil
+}

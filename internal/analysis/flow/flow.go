@@ -1,0 +1,373 @@
+// Package flow is a structured-control-flow abstract interpreter for
+// intra-procedural analyzers: it walks one function body forward,
+// threading an analyzer-defined state through if/for/range/switch/
+// select/branch statements, merging states where paths join, and
+// running loop bodies to a two-pass fixpoint. It stands in for the
+// x/tools CFG and SSA packages the build environment cannot vendor:
+// the smarth-vet analyzers need path merges, condition refinement, and
+// loop widening — not a full basic-block graph.
+//
+// Limits (documented in DESIGN.md §13): goto is not modeled — a
+// function containing one is skipped entirely rather than analyzed
+// wrongly — and function-literal bodies are not entered (analyzers
+// treat each literal as its own function).
+package flow
+
+import "go/ast"
+
+// Interp parameterizes the walk with the analyzer's transfer functions.
+// Any nil hook defaults to the identity (or "not terminating").
+type Interp[S any] struct {
+	// Clone deep-copies a state before the walk forks paths.
+	Clone func(S) S
+	// Merge joins two states where control-flow paths rejoin. It may
+	// mutate and return its first argument.
+	Merge func(S, S) S
+	// Exec is the transfer function for simple statements (assignments,
+	// expression statements, declarations, defers, go, sends, inc/dec).
+	// It may mutate and return its argument.
+	Exec func(S, ast.Stmt) S
+	// Expr observes a control-flow expression evaluated for effect: an
+	// if/for condition, switch tag, range operand, or return results.
+	Expr func(S, ast.Expr) S
+	// Cond refines the state entering a branch given the condition's
+	// outcome (taken == the condition evaluated true).
+	Cond func(S, ast.Expr, bool) S
+	// AtReturn is invoked with the state flowing into each return
+	// statement, and once with ret == nil if the function can fall off
+	// the end of its body.
+	AtReturn func(S, *ast.ReturnStmt)
+	// Terminates reports whether a simple statement never returns
+	// (panic, os.Exit, t.Fatal...); the path is pruned after it.
+	Terminates func(ast.Stmt) bool
+}
+
+// Func walks body starting from init. It returns false — performing no
+// calls — if the body uses goto, which the walker does not model.
+func (in *Interp[S]) Func(body *ast.BlockStmt, init S) bool {
+	if body == nil {
+		return true
+	}
+	if hasGoto(body) {
+		return false
+	}
+	w := &walker[S]{in: in}
+	out, reachable := w.stmts(body.List, init)
+	if reachable {
+		in.atReturn(out, nil)
+	}
+	return true
+}
+
+// hasGoto reports whether any goto statement occurs in the body
+// (excluding nested function literals, which are separate functions).
+func hasGoto(body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BranchStmt:
+			if n.Tok.String() == "goto" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+type frame[S any] struct {
+	label     string
+	isLoop    bool
+	breaks    []S
+	continues []S
+}
+
+type walker[S any] struct {
+	in     *Interp[S]
+	frames []*frame[S]
+	label  string // pending label for the next loop/switch statement
+}
+
+func (w *walker[S]) clone(s S) S {
+	if w.in.Clone == nil {
+		return s
+	}
+	return w.in.Clone(s)
+}
+
+func (w *walker[S]) exec(s S, st ast.Stmt) S {
+	if w.in.Exec == nil {
+		return s
+	}
+	return w.in.Exec(s, st)
+}
+
+func (w *walker[S]) expr(s S, e ast.Expr) S {
+	if e == nil || w.in.Expr == nil {
+		return s
+	}
+	return w.in.Expr(s, e)
+}
+
+func (w *walker[S]) cond(s S, e ast.Expr, taken bool) S {
+	if e == nil || w.in.Cond == nil {
+		return s
+	}
+	return w.in.Cond(s, e, taken)
+}
+
+func (in *Interp[S]) atReturn(s S, ret *ast.ReturnStmt) {
+	if in.AtReturn != nil {
+		in.AtReturn(s, ret)
+	}
+}
+
+// mergeAll folds states into one; ok reports whether any state existed.
+func (w *walker[S]) mergeAll(states []S) (S, bool) {
+	var out S
+	if len(states) == 0 {
+		return out, false
+	}
+	out = states[0]
+	for _, s := range states[1:] {
+		out = w.in.Merge(out, s)
+	}
+	return out, true
+}
+
+// stmts walks a statement list; reachable=false means every path
+// through the list returned, broke, continued, or terminated.
+func (w *walker[S]) stmts(list []ast.Stmt, s S) (S, bool) {
+	reachable := true
+	for _, st := range list {
+		if !reachable {
+			break // dead code after return/branch/panic
+		}
+		s, reachable = w.stmt(st, s)
+	}
+	return s, reachable
+}
+
+func (w *walker[S]) stmt(st ast.Stmt, s S) (S, bool) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(st.List, s)
+
+	case *ast.LabeledStmt:
+		w.label = st.Label.Name
+		defer func() { w.label = "" }()
+		return w.stmt(st.Stmt, s)
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			var reach bool
+			if s, reach = w.stmt(st.Init, s); !reach {
+				return s, false
+			}
+		}
+		s = w.expr(s, st.Cond)
+		thenIn := w.cond(w.clone(s), st.Cond, true)
+		elseIn := w.cond(s, st.Cond, false)
+		thenOut, thenReach := w.stmts(st.Body.List, thenIn)
+		elseOut, elseReach := elseIn, true
+		if st.Else != nil {
+			elseOut, elseReach = w.stmt(st.Else, elseIn)
+		}
+		switch {
+		case thenReach && elseReach:
+			return w.in.Merge(thenOut, elseOut), true
+		case thenReach:
+			return thenOut, true
+		case elseReach:
+			return elseOut, true
+		default:
+			return s, false
+		}
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			var reach bool
+			if s, reach = w.stmt(st.Init, s); !reach {
+				return s, false
+			}
+		}
+		fr := w.pushFrame(true)
+		entry := s
+		for i := 0; i < 2; i++ {
+			bodyIn := w.cond(w.expr(w.clone(entry), st.Cond), st.Cond, true)
+			out, reach := w.stmts(st.Body.List, bodyIn)
+			iter := append([]S(nil), fr.continues...)
+			if reach {
+				if st.Post != nil {
+					out, reach = w.stmt(st.Post, out)
+				}
+				if reach {
+					iter = append(iter, out)
+				}
+			}
+			if merged, ok := w.mergeAll(iter); ok {
+				entry = w.in.Merge(entry, merged)
+			}
+		}
+		w.popFrame()
+		exits := append([]S(nil), fr.breaks...)
+		if st.Cond != nil {
+			exits = append(exits, w.cond(w.expr(entry, st.Cond), st.Cond, false))
+		}
+		return w.mergeAll(exits)
+
+	case *ast.RangeStmt:
+		s = w.expr(s, st.X)
+		fr := w.pushFrame(true)
+		entry := s
+		for i := 0; i < 2; i++ {
+			bodyIn := w.exec(w.clone(entry), st) // analyzer sees key/value binding
+			out, reach := w.stmts(st.Body.List, bodyIn)
+			iter := append([]S(nil), fr.continues...)
+			if reach {
+				iter = append(iter, out)
+			}
+			if merged, ok := w.mergeAll(iter); ok {
+				entry = w.in.Merge(entry, merged)
+			}
+		}
+		w.popFrame()
+		exits := append([]S{entry}, fr.breaks...) // entry covers the 0-iteration case
+		return w.mergeAll(exits)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			var reach bool
+			if s, reach = w.stmt(st.Init, s); !reach {
+				return s, false
+			}
+		}
+		s = w.expr(s, st.Tag)
+		return w.cases(st.Body.List, s, hasDefault(st.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			var reach bool
+			if s, reach = w.stmt(st.Init, s); !reach {
+				return s, false
+			}
+		}
+		s = w.exec(s, st.Assign)
+		return w.cases(st.Body.List, s, hasDefault(st.Body.List))
+
+	case *ast.SelectStmt:
+		return w.cases(st.Body.List, s, true) // select always takes a branch
+
+	case *ast.BranchStmt:
+		switch st.Tok.String() {
+		case "break":
+			if fr := w.findFrame(st.Label, false); fr != nil {
+				fr.breaks = append(fr.breaks, s)
+			}
+			return s, false
+		case "continue":
+			if fr := w.findFrame(st.Label, true); fr != nil {
+				fr.continues = append(fr.continues, s)
+			}
+			return s, false
+		case "fallthrough":
+			// Approximated in cases(): the next clause re-enters from the
+			// switch pre-state, a superset merge.
+			return s, false
+		}
+		return s, false // goto: unreachable, hasGoto bails earlier
+
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			s = w.expr(s, r)
+		}
+		w.in.atReturn(s, st)
+		return s, false
+
+	default:
+		// Assignments, declarations, expression statements, defer, go,
+		// send, inc/dec, empty: the analyzer's transfer function.
+		s = w.exec(s, st)
+		if w.in.Terminates != nil && w.in.Terminates(st) {
+			return s, false
+		}
+		return s, true
+	}
+}
+
+// cases walks switch/select clause bodies, each entered from the
+// pre-state, and merges the reachable outcomes with break states. When
+// no default clause exists the pre-state itself flows past the switch.
+func (w *walker[S]) cases(clauses []ast.Stmt, s S, exhaustive bool) (S, bool) {
+	fr := w.pushFrame(false)
+	var outs []S
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		in := w.clone(s)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				in = w.expr(in, e)
+			}
+			body = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				var reach bool
+				if in, reach = w.stmt(cl.Comm, in); !reach {
+					continue
+				}
+			}
+			body = cl.Body
+		}
+		if out, reach := w.stmts(body, in); reach {
+			outs = append(outs, out)
+		}
+	}
+	w.popFrame()
+	outs = append(outs, fr.breaks...)
+	if !exhaustive {
+		outs = append(outs, s)
+	}
+	return w.mergeAll(outs)
+}
+
+func hasDefault(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker[S]) pushFrame(isLoop bool) *frame[S] {
+	fr := &frame[S]{label: w.label, isLoop: isLoop}
+	w.label = ""
+	w.frames = append(w.frames, fr)
+	return fr
+}
+
+func (w *walker[S]) popFrame() {
+	w.frames = w.frames[:len(w.frames)-1]
+}
+
+// findFrame resolves the target of a break (needLoop=false: nearest
+// loop, switch, or select) or continue (needLoop=true: nearest loop),
+// honoring an explicit label.
+func (w *walker[S]) findFrame(label *ast.Ident, needLoop bool) *frame[S] {
+	for i := len(w.frames) - 1; i >= 0; i-- {
+		fr := w.frames[i]
+		if label != nil {
+			if fr.label == label.Name && (!needLoop || fr.isLoop) {
+				return fr
+			}
+			continue
+		}
+		if !needLoop || fr.isLoop {
+			return fr
+		}
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+// TestLockOrder runs the analyzer over the ranked-mutex fixture:
+// inversions at several rank gaps, same-rank double acquisition, the
+// TryLock-then-Lock helper form, and the //smarth:multi-shard rename
+// escape hatch.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "a")
+}

@@ -1,0 +1,142 @@
+// Package a is the lockorder analysistest fixture: the ranked namenode
+// mutex holders are mirrored by type name (the analyzer classifies
+// structurally, so the fixture exercises exactly the production
+// matching), with inversions, double acquisition, the helper forms,
+// and the //smarth:multi-shard rename escape hatch.
+package a
+
+import "sync"
+
+type nsShard struct {
+	mu    sync.Mutex
+	files map[string]int
+}
+
+type blockStripe struct {
+	mu sync.Mutex
+}
+
+type datanodeManager struct {
+	mu sync.Mutex
+}
+
+type replicationManager struct {
+	mu sync.Mutex
+}
+
+type Namenode struct {
+	mu sync.Mutex
+}
+
+type namesystem struct {
+	shards  []*nsShard
+	stripes []*blockStripe
+}
+
+// lockShard mirrors the production contention-counting helper.
+func (ns *namesystem) lockShard(s *nsShard) {
+	if s.mu.TryLock() {
+		return
+	}
+	s.mu.Lock()
+}
+
+// lockStripe likewise.
+func (ns *namesystem) lockStripe(st *blockStripe) {
+	if st.mu.TryLock() {
+		return
+	}
+	st.mu.Lock()
+}
+
+// ordered walks the full documented order left to right: clean.
+func ordered(s *nsShard, st *blockStripe, dm *datanodeManager, rm *replicationManager, nn *Namenode) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st.mu.Lock()
+	st.mu.Unlock()
+	dm.mu.Lock()
+	dm.mu.Unlock()
+	rm.mu.Lock()
+	rm.mu.Unlock()
+	nn.mu.Lock()
+	nn.mu.Unlock()
+}
+
+// inverted acquires a shard while holding a stripe: the deadlock class.
+func inverted(st *blockStripe, s *nsShard) {
+	st.mu.Lock()
+	s.mu.Lock() // want `acquires namespace shard \(rank 1\) while holding block stripe \(rank 2\)`
+	s.mu.Unlock()
+	st.mu.Unlock()
+}
+
+// adminFirst holds the admin mutex across a subsystem acquisition.
+func adminFirst(nn *Namenode, rm *replicationManager) {
+	nn.mu.Lock()
+	rm.mu.Lock() // want `acquires replication manager \(rank 4\) while holding admin mutex \(rank 5\)`
+	rm.mu.Unlock()
+	nn.mu.Unlock()
+}
+
+// doubleShard holds two peer shards without the sanctioned ordering.
+func doubleShard(a, b *nsShard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `acquires a second namespace shard while one is already held`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// renameLike is the sanctioned index-ordered cross-shard path.
+//
+//smarth:multi-shard
+func renameLike(a, b *nsShard) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+}
+
+// viaHelper: the contention-counting helpers carry their rank.
+func viaHelper(ns *namesystem, dm *datanodeManager, s *nsShard) {
+	dm.mu.Lock()
+	ns.lockShard(s) // want `acquires namespace shard \(rank 1\) while holding datanode manager \(rank 3\)`
+	s.mu.Unlock()
+	dm.mu.Unlock()
+}
+
+// helperOrdered is the production namesystem shape: helper-acquired
+// shard, deferred unlock, then a stripe. Clean.
+func helperOrdered(ns *namesystem, s *nsShard, st *blockStripe) {
+	ns.lockShard(s)
+	defer s.mu.Unlock()
+	ns.lockStripe(st)
+	st.mu.Unlock()
+}
+
+// releasedBetween is sequential, not nested: clean.
+func releasedBetween(s *nsShard, st *blockStripe) {
+	st.mu.Lock()
+	st.mu.Unlock()
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+// loopLocks acquires and releases per iteration: clean across the
+// walker's loop fixpoint.
+func loopLocks(shards []*nsShard) {
+	for _, s := range shards {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+}
+
+// branchUnlock releases on an early-return branch: clean.
+func branchUnlock(s *nsShard, cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,16 @@
+package obsnilsafe_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsnilsafe"
+)
+
+// TestObsNilSafe runs the analyzer over a fixture that borrows the obs
+// package name: unguarded field access and receiver deref in exported
+// methods must fire; both guard shapes, unexported types/methods, and
+// value receivers stay silent.
+func TestObsNilSafe(t *testing.T) {
+	analysistest.Run(t, obsnilsafe.Analyzer, "obs")
+}

@@ -1,0 +1,94 @@
+// Package obs is the obsnilsafe analysistest fixture: it borrows the
+// production package name so the analyzer applies, then exercises both
+// sanctioned guard shapes (early return and guarded region), the
+// failure modes (bare field access, deref), and the exemptions
+// (unexported types and methods, value receivers).
+package obs
+
+import "sync/atomic"
+
+// Counter is a nil-tolerant counter in the production mold.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc uses the guarded-region shape: clean.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add touches the field with no guard at all.
+func (c *Counter) Add(delta int64) {
+	c.n.Add(delta) // want `\(\*obs.Counter\).Add accesses receiver field n without a nil guard`
+}
+
+// Load uses the early-return shape: clean.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Reset dereferences the receiver unguarded.
+func (c *Counter) Reset() {
+	*c = Counter{} // want `\(\*obs.Counter\).Reset dereferences its receiver without a nil guard`
+}
+
+// Gauge mirrors the sampled-gauge shape.
+type Gauge struct {
+	v        atomic.Int64
+	sampling int
+}
+
+// Set guards with a compound early return: clean.
+func (g *Gauge) Set(v int64) {
+	if g == nil || g.sampling <= 0 {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Snapshot guards, then accesses in both branches of a follow-up: clean.
+func (g *Gauge) Snapshot() (int64, bool) {
+	if g == nil {
+		return 0, false
+	}
+	if g.sampling > 0 {
+		return g.v.Load(), true
+	}
+	return 0, true
+}
+
+// Sampling forgets the guard after an unrelated early return.
+func (g *Gauge) Sampling(def int) int {
+	if def < 0 {
+		def = 0
+	}
+	return g.sampling // want `\(\*obs.Gauge\).Sampling accesses receiver field sampling without a nil guard`
+}
+
+// reset is unexported: callers inside the package have already guarded.
+func (g *Gauge) reset() {
+	g.v.Store(0)
+}
+
+// span is an unexported type: its exported-looking methods are not API.
+type span struct {
+	name string
+}
+
+// Name is exported but the type is not, so it is exempt.
+func (s *span) Name() string {
+	return s.name
+}
+
+// ID has a value receiver: a nil pointer cannot reach it.
+type ID struct{ hi, lo uint64 }
+
+// Hi is exempt by receiver kind.
+func (id ID) Hi() uint64 {
+	return id.hi
+}

@@ -1,0 +1,161 @@
+// Package a is the packetrelease analysistest fixture: each function
+// is one ownership pattern, failing cases annotated with want
+// expectations and the clean idioms proving the analyzer stays silent
+// on correct code.
+package a
+
+import (
+	"repro/internal/bufpool"
+	"repro/internal/proto"
+)
+
+var errTooBig = errString("too big")
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func use([]byte) {}
+
+// leakOnError is the early-return leak class: the happy path releases,
+// the mid-function error return does not.
+func leakOnError(c *proto.Conn, w func([]byte) error) error {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return err // clean: p is nil on the error path
+	}
+	if err := w(p.Data); err != nil {
+		return err // want `p may still be owned on this return path`
+	}
+	p.Release()
+	return nil
+}
+
+// deferRelease is the canonical clean shape.
+func deferRelease(c *proto.Conn) error {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	use(p.Data)
+	return nil
+}
+
+// explicitRelease on every path is also clean.
+func explicitRelease(c *proto.Conn) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return
+	}
+	if len(p.Data) == 0 {
+		p.Release()
+		return
+	}
+	use(p.Data)
+	p.Release()
+}
+
+func doubleRelease(c *proto.Conn) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return
+	}
+	p.Release()
+	p.Release() // want `p is released a second time`
+}
+
+func useAfterRelease(c *proto.Conn) int {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return 0
+	}
+	p.Release()
+	return len(p.Data) // want `p is used after Release/Put returned it to the pool`
+}
+
+func discarded(c *proto.Conn) {
+	_, _ = c.ReadPacket() // want `result of c.ReadPacket is discarded without Release/Put`
+}
+
+// bufLeak: bufpool buffers carry the same exactly-once contract.
+func bufLeak(n int) error {
+	b := bufpool.Get(n)
+	if n > 64 {
+		return errTooBig // want `b may still be owned on this return path`
+	}
+	bufpool.Put(b)
+	return nil
+}
+
+func bufClean(n int) {
+	b := bufpool.GetCap(n)
+	defer bufpool.Put(b)
+	use(*b)
+}
+
+// loopRebind leaks one packet per iteration: the rebinding is the only
+// return-free exit the leak has.
+func loopRebind(c *proto.Conn) {
+	for {
+		p, err := c.ReadPacket() // want `p rebound while the previous pooled value may still be owned`
+		if err != nil {
+			return
+		}
+		use(p.Data)
+	}
+}
+
+// loopForward is the datanode forward shape: ownership moves with the
+// pointer into the sink, so each iteration starts clean.
+func loopForward(c *proto.Conn, sink func(*proto.Packet) bool) {
+	for {
+		p, err := c.ReadPacket()
+		if err != nil {
+			return
+		}
+		if !sink(p) {
+			return
+		}
+	}
+}
+
+// transferArg: passing the packet transfers the release duty.
+func transferArg(c *proto.Conn, sink func(*proto.Packet)) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return
+	}
+	sink(p)
+}
+
+// transferChan: so does sending it.
+func transferChan(c *proto.Conn, ch chan *proto.Packet) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return
+	}
+	ch <- p
+}
+
+// transferField: and storing it.
+type holder struct{ p *proto.Packet }
+
+func transferField(c *proto.Conn, h *holder) {
+	p, err := c.ReadPacket()
+	if err != nil {
+		return
+	}
+	h.p = p
+}
+
+// annotated would be a leak to the analyzer — only p.Data escapes — but
+// the registry the data lands in releases the packet out of band, which
+// is exactly what //smarth:owns-packet asserts.
+func annotated(c *proto.Conn, register func([]byte)) {
+	p, err := c.ReadPacket() //smarth:owns-packet — the registry releases it
+	if err != nil {
+		return
+	}
+	register(p.Data)
+}

@@ -1,0 +1,17 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/simdeterminism"
+)
+
+// TestSimDeterminism runs the analyzer over a fixture that borrows the
+// writesched package name: wall-clock reads, ambient randomness, and
+// map-order leaks into the decision log must fire; seeded sources,
+// collect-then-sort iteration, and //smarth:deterministic loops stay
+// silent.
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer, "writesched")
+}

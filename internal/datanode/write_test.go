@@ -87,6 +87,7 @@ func TestInteriorResponderSeqnoSkew(t *testing.T) {
 				return
 			}
 			skewed := &proto.Ack{Kind: proto.AckData, Seqno: pkt.Seqno + 1, Statuses: []proto.Status{proto.StatusSuccess}}
+			pkt.Release()
 			if err := mc.WriteAck(skewed); err != nil {
 				return
 			}

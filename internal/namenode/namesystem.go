@@ -518,7 +518,10 @@ func (ns *namesystem) deleteFile(path string) (stale map[string][]block.Block, e
 
 // rename moves a file. The destination must not exist. When source and
 // destination hash to different shards, both are locked in index order
-// so concurrent cross-shard renames cannot deadlock.
+// so concurrent cross-shard renames cannot deadlock. This is the one
+// sanctioned double-shard acquisition (DESIGN.md §12).
+//
+//smarth:multi-shard
 func (ns *namesystem) rename(src, dst string) error {
 	ss, ds := ns.shardFor(src), ns.shardFor(dst)
 	if ss == ds {

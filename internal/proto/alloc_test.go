@@ -284,7 +284,7 @@ func TestCorkedStreamRoundTrip(t *testing.T) {
 		}
 		p.Release()
 	}
-	if _, err := r.ReadPacket(); err != io.EOF {
+	if _, err := r.ReadPacket(); err != io.EOF { //smarth:owns-packet — EOF expected, no packet allocated
 		t.Fatalf("trailing read err = %v, want EOF", err)
 	}
 }

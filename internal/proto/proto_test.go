@@ -194,7 +194,7 @@ func TestTruncatedStream(t *testing.T) {
 	for cut := 0; cut < len(raw); cut++ {
 		var short duplex
 		short.Write(raw[:cut])
-		if _, err := NewConn(&short).ReadPacket(); err == nil {
+		if _, err := NewConn(&short).ReadPacket(); err == nil { //smarth:owns-packet — every prefix must fail, no packet allocated
 			t.Fatalf("ReadPacket succeeded on %d/%d-byte prefix", cut, len(raw))
 		}
 	}
@@ -364,7 +364,9 @@ func TestQuickDecodeRobustness(t *testing.T) {
 					t.Errorf("ReadPacket panicked on %x: %v", raw, r)
 				}
 			}()
-			c2.ReadPacket()
+			if p, err := c2.ReadPacket(); err == nil {
+				p.Release()
+			}
 		}()
 		var buf3 duplex
 		buf3.Write(raw)
