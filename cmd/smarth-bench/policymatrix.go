@@ -1,0 +1,72 @@
+// Policy-comparison matrix: every built-in write policy (internal/policy)
+// runs the same three simulated workloads — clean two-rack, one throttled
+// datanode, and a mid-write pipeline failure — so the policies' throughput
+// and recovery behavior can be judged side by side on identical seeds.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ec2"
+	"repro/internal/policy"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// policyScenario is one workload of the matrix; the base config is
+// replayed once per policy with only Config.Policy changing.
+type policyScenario struct {
+	name string
+	cfg  sim.Config
+}
+
+// policyScenarios builds the matrix's workload column. scale divides the
+// file size like the figure sweeps (scale 1 = 1 GB, 16 blocks).
+func policyScenarios(scale int64) []policyScenario {
+	size := (int64(1) << 30) / scale
+	base := func() sim.Config {
+		return sim.Config{
+			Preset:   ec2.SmallCluster,
+			FileSize: size,
+			Mode:     proto.ModeSmarth,
+			Seed:     21,
+		}
+	}
+	clean := base()
+	throttled := base()
+	throttled.NodeLimitMbps = map[int]float64{2: 20}
+	// The fault hits block 0 so it exists at any -scale (a deep scale
+	// divide can shrink the file to a single block).
+	fault := base()
+	fault.PipelineFaults = []sim.PipelineFault{{Block: 0, AfterPackets: 128, BadIndex: -1}}
+	return []policyScenario{
+		{name: "clean", cfg: clean},
+		{name: "throttled-dn3", cfg: throttled},
+		{name: "pipeline-fault", cfg: fault},
+	}
+}
+
+// runPolicyMatrix renders the policies × workloads table. Every cell is
+// one full simulated upload; throughput and the write's Algorithm 3
+// recovery count are recorded per cell.
+func runPolicyMatrix(scale int64) (string, error) {
+	var b strings.Builder
+	scenarios := policyScenarios(scale)
+	fmt.Fprintf(&b, "Policy comparison (%d MB SMARTH upload, small cluster, two racks):\n",
+		scenarios[0].cfg.FileSize>>20)
+	fmt.Fprintf(&b, "%-16s %-12s %9s %8s %11s\n", "scenario", "policy", "seconds", "MB/s", "recoveries")
+	for _, sc := range scenarios {
+		for _, name := range policy.Names() {
+			cfg := sc.cfg
+			cfg.Policy = name
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return "", fmt.Errorf("policy matrix %s/%s: %w", sc.name, name, err)
+			}
+			fmt.Fprintf(&b, "%-16s %-12s %9.1f %8.1f %11d\n",
+				sc.name, name, r.Duration.Seconds(), r.ThroughputMBps(), r.Recoveries)
+		}
+	}
+	return b.String(), nil
+}

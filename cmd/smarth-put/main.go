@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/transport"
 )
@@ -31,6 +32,8 @@ func main() {
 	blockSize := flag.Int64("block", 64<<20, "block size in bytes")
 	stripes := flag.Int("stripes", 1,
 		fmt.Sprintf("conns per pipeline hop (1-%d); >1 stripes packets across them", proto.MaxStripes))
+	pol := flag.String("policy", "",
+		fmt.Sprintf("write policy %v; empty = default", policy.Names()))
 	verify := flag.Bool("verify", false, "read the file back and check its digest")
 	timeout := flag.Duration("timeout", 0,
 		"stall-detection bound: dial, setup-ack, ack-progress and per-RPC timeouts (FNFA gets 4x); 0 = library defaults")
@@ -74,6 +77,7 @@ func main() {
 			Replication: *replication,
 			BlockSize:   *blockSize,
 			Stripes:     *stripes,
+			Policy:      *pol,
 			Overwrite:   true,
 		}
 		var w io.WriteCloser
@@ -102,8 +106,12 @@ func main() {
 		}
 		elapsed := time.Since(start)
 		copy(uploadDigest[:], h.Sum(nil))
+		tag := *mode
+		if *pol != "" {
+			tag += "/" + *pol
+		}
 		fmt.Printf("uploaded %d bytes (%s) in %.2fs — %.1f MB/s [%s]\n",
-			n, *dst, elapsed.Seconds(), float64(n)/1e6/elapsed.Seconds(), *mode)
+			n, *dst, elapsed.Seconds(), float64(n)/1e6/elapsed.Seconds(), tag)
 		_ = info
 	}
 

@@ -1,10 +1,10 @@
 // Package simdeterminism implements the smarth-vet analyzer guarding
 // the determinism discipline that keeps internal/conformance decision
 // logs byte-identical across substrates (DESIGN.md §9): inside the
-// deterministic packages — sim, des, writesched, netsim, conformance —
-// the only time source is internal/clock and the only randomness is an
-// explicitly seeded *rand.Rand. The analyzer reports, in those
-// packages:
+// deterministic packages — sim, des, writesched, netsim, policy,
+// conformance — the only time source is internal/clock and the only
+// randomness is an explicitly seeded *rand.Rand. The analyzer reports,
+// in those packages:
 //
 //   - any call to time.Now, time.Since, time.Until, time.Sleep,
 //     time.After, time.AfterFunc, time.Tick, time.NewTimer, or
@@ -53,6 +53,11 @@ var deterministicPkgs = map[string]bool{
 	"writesched":  true,
 	"netsim":      true,
 	"conformance": true,
+	// Write policies make placement and ordering decisions that land in
+	// the conformance-pinned decision log, so they are held to the same
+	// discipline: rng only through the PlaceInput/OrderPipeline
+	// parameters, no wall clock, no map-order-dependent decisions.
+	"policy": true,
 }
 
 // bannedTimeFuncs are the package time functions that read the wall

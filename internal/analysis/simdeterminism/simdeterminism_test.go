@@ -15,3 +15,11 @@ import (
 func TestSimDeterminism(t *testing.T) {
 	analysistest.Run(t, simdeterminism.Analyzer, "writesched")
 }
+
+// TestSimDeterminismPolicy covers the policy fixture: write policies
+// are part of the deterministic set, so caller-threaded rng and
+// commutative map folds pass while wall clock, global rand, and
+// map-ordered observation recording fire.
+func TestSimDeterminismPolicy(t *testing.T) {
+	analysistest.Run(t, simdeterminism.Analyzer, "policy")
+}

@@ -1,0 +1,66 @@
+// Package policy is the simdeterminism analysistest fixture for the
+// write-policy package: policies decide placement and pipeline order,
+// so the determinism discipline applies to them exactly as it does to
+// the engine. The fixture exercises the banned idioms (wall clock,
+// ambient randomness, map-order decision leaks) next to the sanctioned
+// ones a real policy uses (caller-threaded rng, commutative map folds).
+package policy
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type recorder struct{}
+
+func (r *recorder) Record(dn string, speed float64) {}
+
+// staleness reads the wall clock to age speed history.
+func staleness() int64 {
+	return time.Now().Unix() // want `time.Now in a deterministic package`
+}
+
+// jitterPick draws from the shared global source instead of the rng the
+// engine threads through PlaceInput.
+func jitterPick(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the global source`
+}
+
+// threadedRng is the sanctioned shape: the caller's seeded rng decides.
+func threadedRng(rng *rand.Rand, n int) int {
+	return rng.Intn(n)
+}
+
+// historyLeak records observations straight out of a map range: the
+// record order differs run to run.
+func historyLeak(r *recorder, speeds map[string]float64) {
+	for dn, v := range speeds { // want `map iteration order feeds Record`
+		r.Record(dn, v)
+	}
+}
+
+// ewmaFold is the clean shape a stateful policy uses: a per-key
+// commutative fold whose result cannot depend on iteration order.
+func ewmaFold(history, speeds map[string]float64) {
+	for dn, v := range speeds {
+		history[dn] = 0.5*history[dn] + 0.5*v
+	}
+}
+
+// sortedCandidates is the sanctioned argmax: sort names first, then a
+// deterministic scan with a strict-greater compare.
+func sortedCandidates(score map[string]float64) string {
+	names := make([]string, 0, len(score))
+	for n := range score {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best := ""
+	for _, n := range names {
+		if best == "" || score[n] > score[best] {
+			best = n
+		}
+	}
+	return best
+}

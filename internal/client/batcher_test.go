@@ -52,7 +52,7 @@ func drainWorker(t *testing.T, w *schedWriter) {
 // nn_rpcs +2).
 func TestNNWorkerCoalescesQueuedOps(t *testing.T) {
 	cl, o := startBatcherFixture(t)
-	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, 1, true)
+	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, nil, 1, true)
 	defer w.stopWorker()
 
 	nnRPCs := o.Component("namenode").Counter("nn_rpcs")
@@ -83,7 +83,7 @@ func TestNNWorkerCoalescesQueuedOps(t *testing.T) {
 // lone writer is indistinguishable from a pre-batching client.
 func TestNNWorkerSingleOpStaysUnbatched(t *testing.T) {
 	cl, o := startBatcherFixture(t)
-	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, 1, true)
+	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, nil, 1, true)
 	defer w.stopWorker()
 
 	w.Heartbeat()
@@ -97,7 +97,7 @@ func TestNNWorkerSingleOpStaysUnbatched(t *testing.T) {
 // DisableRPCBatch set, queued batchable ops still go out one frame each.
 func TestNNWorkerHonorsDisableRPCBatch(t *testing.T) {
 	cl, o := startBatcherFixture(t)
-	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3, DisableRPCBatch: true}, 1, true)
+	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3, DisableRPCBatch: true}, nil, 1, true)
 	defer w.stopWorker()
 
 	release := make(chan struct{})
@@ -117,7 +117,7 @@ func TestNNWorkerHonorsDisableRPCBatch(t *testing.T) {
 // around the barrier.
 func TestNNWorkerRunOpsAreBarriers(t *testing.T) {
 	cl, o := startBatcherFixture(t)
-	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, 1, true)
+	w := cl.newSchedWriter("/wb-file", WriteOptions{Mode: proto.ModeSmarth, Replication: 3}, nil, 1, true)
 	defer w.stopWorker()
 
 	release := make(chan struct{})

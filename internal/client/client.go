@@ -138,6 +138,14 @@ type WriteOptions struct {
 	// frame, like the pre-batching client. Op order is identical either
 	// way — the FIFO worker preserves it, batched or not.
 	DisableRPCBatch bool
+	// Policy names the write policy (internal/policy) governing this
+	// file: placement, effective replication factor, pipeline ordering,
+	// and pipeline shape. "" means the default policy, which reproduces
+	// the engine's historical behavior exactly. The name travels with
+	// every namenode request for the write, so placement decisions on
+	// the namenode and shape decisions in the client's engine stay
+	// consistent. Unknown names fail Create.
+	Policy string
 }
 
 func (o *WriteOptions) applyDefaults() {
@@ -424,6 +432,7 @@ func (c *Client) createFile(path string, opts WriteOptions) error {
 		Replication: opts.Replication,
 		BlockSize:   opts.BlockSize,
 		Overwrite:   opts.Overwrite,
+		Policy:      opts.Policy,
 	}, &nnapi.CreateResp{})
 }
 

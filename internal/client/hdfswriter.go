@@ -1,6 +1,7 @@
 package client
 
 import (
+	"repro/internal/policy"
 	"repro/internal/proto"
 )
 
@@ -14,10 +15,14 @@ import (
 func (c *Client) CreateHDFS(path string, opts WriteOptions) (Writer, error) {
 	opts.applyDefaults()
 	opts.Mode = proto.ModeHDFS
+	pol, err := policy.New(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
 	if err := c.createFile(path, opts); err != nil {
 		return nil, err
 	}
-	w := c.newSchedWriter(path, opts, 1, false)
+	w := c.newSchedWriter(path, opts, pol, 1, false)
 	w.notePipelines(1)
 	return w, nil
 }

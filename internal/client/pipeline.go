@@ -11,6 +11,7 @@ import (
 	"repro/internal/checksum"
 	"repro/internal/clock"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/transport"
 )
@@ -126,8 +127,12 @@ func (p *pipelineConn) close() { p.pw.Close() }
 // the client recovers exactly as for a refused pipeline. parent, when
 // tracing is on, becomes the new pipeline span's parent (normally the
 // block span); a setup failure ends the span with an error status
-// before returning.
-func (c *Client) openPipeline(lb block.LocatedBlock, opts *WriteOptions, to Timeouts, parent *obs.Span) (*pipelineConn, error) {
+// before returning. shape is the engine's policy decision for this
+// pipeline: ShapeFanout sets the header's Fanout flag (the first
+// datanode mirrors to every remaining target in parallel) and forces a
+// single data conn, since fanout and striping are mutually exclusive
+// on the wire.
+func (c *Client) openPipeline(lb block.LocatedBlock, opts *WriteOptions, shape policy.Shape, to Timeouts, parent *obs.Span) (*pipelineConn, error) {
 	span := c.obs.StartSpan("pipeline", parent)
 	span.SetAttr("targets", strings.Join(lb.Names(), ">"))
 	fail := func(e *pipelineError) (*pipelineConn, error) {
@@ -139,7 +144,7 @@ func (c *Client) openPipeline(lb block.LocatedBlock, opts *WriteOptions, to Time
 		return fail(&pipelineError{lb: lb, badIndex: -1, cause: errors.New("no targets")})
 	}
 	stripes := opts.Stripes
-	if stripes < 1 {
+	if stripes < 1 || shape == policy.ShapeFanout {
 		stripes = 1
 	}
 	hdr := &proto.WriteBlockHeader{
@@ -150,6 +155,9 @@ func (c *Client) openPipeline(lb block.LocatedBlock, opts *WriteOptions, to Time
 		Depth:      0,
 		Stripes:    uint8(stripes),
 		BlockBytes: opts.BlockSize,
+	}
+	if shape == policy.ShapeFanout {
+		hdr.Fanout = 1
 	}
 	pc, setupAck, err := c.dialStripe(lb.Targets[0].Addr, hdr, to)
 	if err != nil {

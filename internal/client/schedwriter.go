@@ -11,6 +11,7 @@ import (
 	"repro/internal/block"
 	"repro/internal/nnapi"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/writesched"
@@ -90,7 +91,8 @@ type nnOp struct {
 }
 
 // newSchedWriter builds the writer, its engine, and the RPC worker.
-func (c *Client) newSchedWriter(path string, opts WriteOptions, maxPipelines int, protocolHeartbeats bool) *schedWriter {
+// pol is the write's resolved policy instance (nil means default).
+func (c *Client) newSchedWriter(path string, opts WriteOptions, pol policy.Policy, maxPipelines int, protocolHeartbeats bool) *schedWriter {
 	w := &schedWriter{
 		c:            c,
 		path:         path,
@@ -107,9 +109,13 @@ func (c *Client) newSchedWriter(path string, opts WriteOptions, maxPipelines int
 		lastCause:    make(map[int]error),
 	}
 	w.cond = sync.NewCond(&w.mu)
+	if pol == nil {
+		pol, _ = policy.New(policy.Default)
+	}
 	w.span = c.obs.StartSpan("write", nil)
 	w.span.SetAttr("path", path)
 	w.span.SetAttr("mode", strings.ToLower(opts.Mode.String()))
+	w.span.SetAttr("policy", pol.Name())
 	seed := opts.Seed
 	if seed == 0 {
 		c.mu.Lock()
@@ -128,6 +134,7 @@ func (c *Client) newSchedWriter(path string, opts WriteOptions, maxPipelines int
 		Seed:               seed,
 		SpeedOverride:      opts.SpeedOverride,
 		Log:                opts.SchedLog,
+		Policy:             pol,
 	}, w)
 	w.wg.Add(1)
 	go w.nnWorker()
@@ -412,6 +419,7 @@ func (w *schedWriter) stopWorker() {
 func (w *schedWriter) AddBlock(idx int, exclude []string, prev block.Block) {
 	req := nnapi.AddBlockReq{
 		Path: w.path, Client: w.c.opts.Name, Mode: w.opts.Mode, Exclude: exclude, Previous: prev,
+		Policy: w.opts.Policy,
 	}
 	w.enqueueNN(nnOp{
 		method:   nnapi.MethodAddBlock,
@@ -455,6 +463,7 @@ func (w *schedWriter) RecoverBlock(idx, attempt int, blk block.Block, alive, exc
 	w.enqueueNN(nnOp{run: func() {
 		resp, err := w.c.recoverBlock(nnapi.RecoverBlockReq{
 			Path: w.path, Block: blk, Alive: alive, Exclude: exclude, Mode: w.opts.Mode,
+			Policy: w.opts.Policy,
 		})
 		w.c.invalidateMeta(w.path)
 		if err == nil {
@@ -538,7 +547,7 @@ func (w *schedWriter) FileDone(err error) {
 // StartPipeline launches block idx's pipeline I/O on its own goroutine.
 // The initial launch opens the block's trace span and stamps its launch
 // time; a recovery re-stream reuses them.
-func (w *schedWriter) StartPipeline(idx int, lb block.LocatedBlock, restream bool) {
+func (w *schedWriter) StartPipeline(idx int, lb block.LocatedBlock, shape policy.Shape, restream bool) {
 	if !restream {
 		w.blockLaunched()
 		span := w.c.obs.StartSpan("block", w.span)
@@ -548,13 +557,13 @@ func (w *schedWriter) StartPipeline(idx int, lb block.LocatedBlock, restream boo
 		w.launched[idx] = w.c.clk.Now()
 		w.mu.Unlock()
 	}
-	go w.runPipeline(idx, lb, restream)
+	go w.runPipeline(idx, lb, shape, restream)
 }
 
 // runPipeline owns one pipeline attempt end to end: open, stream, FNFA
 // wait (initial SMARTH launches only), ack drain. Outcomes go to the
 // engine; the engine decides what happens next.
-func (w *schedWriter) runPipeline(idx int, lb block.LocatedBlock, restream bool) {
+func (w *schedWriter) runPipeline(idx int, lb block.LocatedBlock, shape policy.Shape, restream bool) {
 	w.mu.Lock()
 	data := w.data[idx]
 	blockSpan := w.spans[idx]
@@ -579,7 +588,7 @@ func (w *schedWriter) runPipeline(idx int, lb block.LocatedBlock, restream bool)
 		w.eng.HandleFailed(idx, writesched.PipelineFailure{BadIndex: bad, Cause: err})
 	}
 
-	p, err := w.c.openPipeline(lb, &w.opts, w.to, parent)
+	p, err := w.c.openPipeline(lb, &w.opts, shape, w.to, parent)
 	if err != nil {
 		fail(err)
 		return

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ec2"
 	"repro/internal/faultnet"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -92,11 +93,17 @@ type Scenario struct {
 	ThrottleDN   int
 	ThrottleMbps float64
 	Fault        *Fault
+	// Policy names the write policy (internal/policy) for both
+	// substrates; "" is the default. Every built-in policy has at least
+	// one scenario here, so a policy whose decisions depend on substrate
+	// timing can never land.
+	Policy string
 }
 
 // Scenarios returns the seeded conformance suite: the HDFS baseline on
 // one rack, SMARTH on the paper's two-rack topology, SMARTH with a
-// throttled datanode, and SMARTH with a mid-write pipeline failure.
+// throttled datanode, SMARTH with a mid-write pipeline failure, and one
+// two-rack SMARTH scenario per non-default policy (speedaware, fanout).
 // The seeds are chosen so the fault scenario's victim datanode leads
 // exactly one pipeline (see TestConformance's recurrence check).
 func Scenarios() []Scenario {
@@ -127,6 +134,16 @@ func Scenarios() []Scenario {
 			Name: "smarth-failure", Mode: proto.ModeSmarth, Seed: 14,
 			Blocks: 6, MaxPipelines: 3, SpeedMbps: speeds, ThrottleDN: -1,
 			Fault: &Fault{Block: 2},
+		},
+		{
+			Name: "smarth-speedaware", Mode: proto.ModeSmarth, Seed: 15,
+			Blocks: 6, MaxPipelines: 3, SpeedMbps: speeds, ThrottleDN: -1,
+			Policy: policy.SpeedAware,
+		},
+		{
+			Name: "smarth-fanout", Mode: proto.ModeSmarth, Seed: 16,
+			Blocks: 6, MaxPipelines: 3, SpeedMbps: speeds, ThrottleDN: -1,
+			Policy: policy.Fanout,
 		},
 	}
 }
@@ -176,6 +193,7 @@ func RunSim(s Scenario) (string, error) {
 		StrictRetire:       true,
 		SpeedOverride:      speedFunc(s.SpeedMbps),
 		DecisionLog:        &log,
+		Policy:             s.Policy,
 	}
 	if s.ThrottleDN >= 0 {
 		cfg.NodeLimitMbps = map[int]float64{s.ThrottleDN: s.ThrottleMbps}
@@ -267,6 +285,7 @@ func runLive(s Scenario, victim string, noBatch bool) (string, error) {
 		StrictRetire:    true,
 		SchedLog:        &log,
 		SpeedOverride:   speedFunc(s.SpeedMbps),
+		Policy:          s.Policy,
 	}
 	var w client.Writer
 	if s.Mode == proto.ModeSmarth {

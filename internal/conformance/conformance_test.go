@@ -132,19 +132,25 @@ func diff(want, got string) string {
 // (both substrates agreeing on nothing) cannot pass as conformance.
 func TestScenarioLogsExerciseTheProtocol(t *testing.T) {
 	want := map[string][]string{
-		"hdfs-single-rack": {"create path=" + Path + " mode=HDFS repl=3 cap=1", "retire idx=0", "complete path="},
-		"smarth-two-rack":  {"mode=SMARTH repl=3 cap=3", "localopt idx=", "fnfa idx=", "retire idx=", "complete path="},
-		"smarth-throttled": {"mode=SMARTH repl=3 cap=3", "fnfa idx=", "complete path="},
-		"smarth-failure":   {"fail idx=2 bad=", "recover idx=2 attempt=1", "restream idx=2", "recovered idx=2", "complete path="},
+		"hdfs-single-rack":  {"create path=" + Path + " mode=HDFS repl=3 cap=1", "retire idx=0", "complete path="},
+		"smarth-two-rack":   {"mode=SMARTH repl=3 cap=3", "localopt idx=", "fnfa idx=", "retire idx=", "complete path="},
+		"smarth-throttled":  {"mode=SMARTH repl=3 cap=3", "fnfa idx=", "complete path="},
+		"smarth-failure":    {"fail idx=2 bad=", "recover idx=2 attempt=1", "restream idx=2", "recovered idx=2", "complete path="},
+		"smarth-speedaware": {"policy name=speedaware", "fnfa idx=", "retire idx=", "complete path="},
+		"smarth-fanout":     {"policy name=fanout", "shape idx=", "fnfa idx=", "complete path="},
 	}
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
+			markers, ok := want[s.Name]
+			if !ok {
+				t.Fatalf("scenario %s has no marker list; add one so an empty log cannot pass", s.Name)
+			}
 			log, err := RunSim(s)
 			if err != nil {
 				t.Fatalf("sim run: %v", err)
 			}
-			for _, marker := range want[s.Name] {
+			for _, marker := range markers {
 				if !strings.Contains(log, marker) {
 					t.Fatalf("log missing %q:\n%s", marker, log)
 				}

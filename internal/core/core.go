@@ -197,6 +197,15 @@ func (g *Registry) TopN(client string, n int, candidates []string) []string {
 	return out
 }
 
+// Speed returns the client's recorded speed for one datanode (0 when
+// never reported). A point lookup — policies consult it per candidate
+// without copying the whole table.
+func (g *Registry) Speed(client, dn string) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.clients[client][dn]
+}
+
 // Speeds returns a copy of the client's speed table.
 func (g *Registry) Speeds(client string) map[string]float64 {
 	g.mu.RLock()

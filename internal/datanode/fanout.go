@@ -1,0 +1,141 @@
+package datanode
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// ackReader abstracts where a write pipeline's downstream acks come
+// from: the single mirror conn of a chain, or the lockstep merge of a
+// fan-out's leaf conns. *proto.Conn satisfies it directly.
+type ackReader interface {
+	ReadAck() (*proto.Ack, error)
+}
+
+var (
+	_ ackReader = (*proto.Conn)(nil)
+	_ ackReader = (*fanAcks)(nil)
+)
+
+// connectFan dials every remaining target directly (replication offload:
+// this node mirrors to all of them in parallel instead of chaining).
+// Each leaf gets an empty target list and Fanout cleared, so it runs the
+// ordinary leaf path — acking each packet itself — at Depth+1, which
+// also keeps the FNFA exclusively on this node. Any leaf failing setup
+// fails the whole fan (the client rebuilds the pipeline, Algorithm 3).
+// The returned statuses hold one entry per leaf, in target order.
+func (dn *Datanode) connectFan(hdr *proto.WriteBlockHeader) (proto.PacketWriter, *fanAcks, []proto.Status, error) {
+	sts := make([]proto.Status, 0, len(hdr.Targets))
+	conns := make([]*proto.Conn, 0, len(hdr.Targets))
+	fail := func(err error) (proto.PacketWriter, *fanAcks, []proto.Status, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, nil, nil, err
+	}
+	for _, t := range hdr.Targets {
+		leaf := &proto.WriteBlockHeader{
+			Block:      hdr.Block,
+			Client:     hdr.Client,
+			Mode:       hdr.Mode,
+			Depth:      hdr.Depth + 1,
+			BlockBytes: hdr.BlockBytes,
+		}
+		c, ack, err := dn.dialStripe(t.Addr, leaf)
+		if err != nil {
+			return fail(fmt.Errorf("fanout leaf %s: %w", t.Name, err))
+		}
+		if !ack.OK() {
+			c.Close()
+			return fail(fmt.Errorf("fanout leaf %s: %w", t.Name, errSetupFailed))
+		}
+		sts = append(sts, ack.Statuses...)
+		conns = append(conns, c)
+	}
+	return &fanWriter{conns: conns}, &fanAcks{conns: conns}, sts, nil
+}
+
+// fanWriter duplicates every packet across the fan's leaf conns. It does
+// not take packet ownership (like Conn.WritePacket): the forwarder
+// releases the packet after the write returns, and WritePacket only
+// reads it.
+type fanWriter struct {
+	conns []*proto.Conn
+}
+
+func (f *fanWriter) WritePacket(p *proto.Packet) error {
+	for _, c := range f.conns {
+		if err := c.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *fanWriter) SetCork(on bool) error {
+	var first error
+	for _, c := range f.conns {
+		if err := c.SetCork(on); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *fanWriter) SetAutoCork(bytes int, delay time.Duration) {
+	for _, c := range f.conns {
+		c.SetAutoCork(bytes, delay)
+	}
+}
+
+func (f *fanWriter) Flush() error {
+	var first error
+	for _, c := range f.conns {
+		if err := c.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f *fanWriter) Close() error {
+	var first error
+	for _, c := range f.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// fanAcks merges the leaves' per-packet acks in lockstep: one ack per
+// leaf per packet, seqnos must agree (every leaf acks every packet in
+// order), statuses concatenate in target order. The merged ack is
+// receiver-owned scratch overwritten by the next ReadAck — the same
+// ownership contract as Conn.ReadAck, whose conn-owned results are
+// copied into the scratch before the next leaf read overwrites them.
+type fanAcks struct {
+	conns  []*proto.Conn
+	merged proto.Ack
+}
+
+func (f *fanAcks) ReadAck() (*proto.Ack, error) {
+	f.merged.Statuses = f.merged.Statuses[:0]
+	for i, c := range f.conns {
+		a, err := c.ReadAck()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			f.merged.Kind = a.Kind
+			f.merged.Seqno = a.Seqno
+		} else if a.Seqno != f.merged.Seqno || a.Kind != f.merged.Kind {
+			return nil, fmt.Errorf("datanode: fanout ack skew: leaf %d at %v seqno %d, leaf 0 at %v seqno %d",
+				i, a.Kind, a.Seqno, f.merged.Kind, f.merged.Seqno)
+		}
+		f.merged.Statuses = append(f.merged.Statuses, a.Statuses...)
+	}
+	return &f.merged, nil
+}

@@ -70,11 +70,23 @@ func (dn *Datanode) handleWrite(up *proto.Conn, hdr *proto.WriteBlockHeader) {
 		}()
 	}
 
-	// --- pipeline setup: connect the mirror chain, then ack the header ---
-	var mirror *proto.Conn         // primary mirror conn: acks flow back on it
-	var mirrorW proto.PacketWriter // packet fan-out: mirror itself, or a stripe set
+	// --- pipeline setup: connect the downstream datanodes (a mirror
+	// chain, or all of them directly under fan-out), then ack the header ---
+	var mirror ackReader           // downstream acks flow back through it
+	var mirrorW proto.PacketWriter // packet fan-out: mirror conn, stripe set, or fan
 	setupStatuses := make([]proto.Status, 1+len(hdr.Targets))
-	if len(hdr.Targets) > 0 {
+	if len(hdr.Targets) > 0 && hdr.Fanout != 0 {
+		mw, fa, downstream, err := dn.connectFan(hdr)
+		if err != nil {
+			dn.opts.Logf("datanode %s: fanout: %v", dn.opts.Name, err)
+			for i := 1; i < len(setupStatuses); i++ {
+				setupStatuses[i] = proto.StatusError
+			}
+		} else {
+			copy(setupStatuses[1:], downstream)
+			mirror, mirrorW = fa, mw
+		}
+	} else if len(hdr.Targets) > 0 {
 		mw, m, downstream, err := dn.connectMirror(hdr)
 		if err != nil {
 			dn.opts.Logf("datanode %s: mirror %s: %v", dn.opts.Name, hdr.Targets[0].Name, err)

@@ -12,6 +12,12 @@ import (
 // below it. A move is a normal replicate command to the over-full node;
 // once the target reports the new replica, the source's copy is
 // invalidated — copy-then-delete, so redundancy never drops.
+//
+// Target selection here is utilization-driven round-robin, deliberately
+// NOT routed through the policy layer's Place: a balancer move wants the
+// emptiest receiver, not a topology/speed-optimal pipeline head, and
+// drawing from the shared placement rng would perturb the placement
+// sequence of concurrent writes (conformance pins that sequence).
 
 // pendingMove tracks a balancer transfer awaiting its blockReceived.
 type pendingMove struct {

@@ -1,6 +1,7 @@
 // Package namenode implements the cluster's metadata server: the
 // namespace (files and blocks), datanode liveness tracking, replica
-// placement — both HDFS's default topology policy and SMARTH's
+// placement — delegated to the pluggable policy layer (internal/policy),
+// whose default covers both HDFS's topology policy and SMARTH's
 // Algorithm 1 global optimization — and the RPC surface defined in
 // package nnapi.
 //
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nnapi"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -56,6 +58,11 @@ type Options struct {
 	// decisions, block recoveries, shard contention) under the
 	// "namenode" component.
 	Obs *obs.Obs
+	// Policy names the policy used for namenode-initiated placement
+	// (re-replication target selection). Client-driven placement carries
+	// its policy in each request instead. Empty selects policy.Default;
+	// unknown names fall back to it.
+	Policy string
 }
 
 // methodMetrics holds one RPC method's latency histogram and error
@@ -88,8 +95,11 @@ type Namenode struct {
 	// blocks have at least one reported replica (like HDFS startup).
 	safeMode atomic.Bool
 
-	defaultPolicy *defaultPlacement
-	smarthPolicy  *smarthPlacement
+	// policies holds one shared instance per built-in policy name (state
+	// like speedaware's history accumulates across requests);
+	// maintPolicy names the one used for namenode-initiated placement.
+	policies    map[string]policy.Policy
+	maintPolicy string
 
 	// batchable maps method names to their decode/execute handlers; the
 	// Batch RPC re-dispatches entries through it.
@@ -100,6 +110,8 @@ type Namenode struct {
 	mm               map[string]methodMetrics
 	mPlaceSmarth     *obs.Counter
 	mPlaceDefault    *obs.Counter
+	mPolicyDecisions *obs.Counter                // every placement decision, any policy
+	mPolicyPlace     map[string]*obs.Counter     // placement decisions per policy name
 	mBlocksAllocated *obs.Counter
 	mBlockRecoveries *obs.Counter
 	mRPCs            *obs.Counter // logical operations served (batch entries count individually)
@@ -120,7 +132,14 @@ func New(opts Options) *Namenode {
 	rng := rand.New(rand.NewSource(seed))
 	dm := newDatanodeManager(clk, opts.Expiry)
 	registry := core.NewRegistry()
-	dp := &defaultPlacement{dm: dm, rng: rng}
+	policies := make(map[string]policy.Policy, len(policy.Names()))
+	for _, name := range policy.Names() {
+		p, err := policy.New(name)
+		if err != nil {
+			panic("namenode: built-in policy failed to construct: " + err.Error())
+		}
+		policies[name] = p
+	}
 	leaseTTL := opts.LeaseTimeout
 	if leaseTTL <= 0 {
 		leaseTTL = DefaultLeaseTimeout
@@ -137,12 +156,17 @@ func New(opts Options) *Namenode {
 		rng:           rng,
 		leaseTTL:      leaseTTL,
 		balancerMoves: make(map[block.ID]pendingMove),
-		defaultPolicy: dp,
-		smarthPolicy:  &smarthPlacement{dm: dm, registry: registry, rng: rng, fallback: dp},
+		policies:      policies,
+		maintPolicy:   opts.Policy,
 	}
 	nn.obsComp = opts.Obs.Component("namenode")
 	nn.mPlaceSmarth = nn.obsComp.Counter("placement_smarth")
 	nn.mPlaceDefault = nn.obsComp.Counter("placement_default")
+	nn.mPolicyDecisions = nn.obsComp.Counter("policy_decisions")
+	nn.mPolicyPlace = make(map[string]*obs.Counter, len(policies))
+	for _, name := range policy.Names() {
+		nn.mPolicyPlace[name] = nn.obsComp.Counter("policy_place_" + name)
+	}
 	nn.mBlocksAllocated = nn.obsComp.Counter("blocks_allocated")
 	nn.mBlockRecoveries = nn.obsComp.Counter("block_recoveries")
 	nn.mRPCs = nn.obsComp.Counter("nn_rpcs")
@@ -191,12 +215,35 @@ func New(opts Options) *Namenode {
 func (nn *Namenode) Registry() *core.Registry { return nn.registry }
 
 // place runs one placement decision under the datanode manager's lock,
-// so the policy observes a consistent topology and the shared rng is
-// race-free.
-func (nn *Namenode) place(mode proto.WriteMode, client string, replication int, exclude []string) ([]block.DatanodeInfo, error) {
+// so the policy observes a consistent topology (via placementView) and
+// the shared rng is race-free. policyName resolves through policyByName
+// ("" → default); the decision is counted globally and per policy.
+func (nn *Namenode) place(policyName string, mode proto.WriteMode, client string, replication int, exclude []string) ([]block.DatanodeInfo, error) {
+	pol := nn.policyByName(policyName)
+	nn.mPolicyDecisions.Inc()
+	if c, ok := nn.mPolicyPlace[pol.Name()]; ok {
+		c.Inc()
+	}
 	nn.dm.mu.Lock()
 	defer nn.dm.mu.Unlock()
-	return nn.policyFor(mode).choose(client, replication, exclude)
+	return pol.Place(placementView{dm: nn.dm, registry: nn.registry}, policy.PlaceInput{
+		Client:      client,
+		Mode:        mode,
+		Replication: replication,
+		Exclude:     exclude,
+		Rng:         nn.rng,
+	})
+}
+
+// policyByName resolves a request's policy name against the shared
+// instances; empty and unknown names both land on the default so a
+// namenode never rejects a request over a policy label (validation
+// happens client-side where an error can reach the caller).
+func (nn *Namenode) policyByName(name string) policy.Policy {
+	if p, ok := nn.policies[name]; ok {
+		return p
+	}
+	return nn.policies[policy.Default]
 }
 
 // Serve runs the RPC server on l until the listener closes.
@@ -263,12 +310,15 @@ func (nn *Namenode) checkSafeMode() error {
 	return nil
 }
 
-// Create makes a new file in the namespace (write step 1).
+// Create makes a new file in the namespace (write step 1). The policy
+// named in the request gets the final word on the file's replication
+// factor (identity for all built-in policies).
 func (nn *Namenode) Create(req nnapi.CreateReq) (nnapi.CreateResp, error) {
 	if err := nn.checkSafeMode(); err != nil {
 		return nnapi.CreateResp{}, err
 	}
-	if err := nn.ns.create(req.Path, req.Client, req.Replication, req.BlockSize, req.Overwrite, nn.clk.Now()); err != nil {
+	replication := nn.policyByName(req.Policy).ReplicationFor(req.Path, req.Replication)
+	if err := nn.ns.create(req.Path, req.Client, replication, req.BlockSize, req.Overwrite, nn.clk.Now()); err != nil {
 		return nnapi.CreateResp{}, err
 	}
 	return nnapi.CreateResp{}, nil
@@ -282,7 +332,7 @@ func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) 
 	}
 	b, targets, reused, err := nn.ns.addBlock(req.Path, req.Client, req.Previous, nn.clk.Now(),
 		func(replication int) ([]block.DatanodeInfo, error) {
-			return nn.place(req.Mode, req.Client, replication, req.Exclude)
+			return nn.place(req.Policy, req.Mode, req.Client, replication, req.Exclude)
 		})
 	if err != nil {
 		return nnapi.AddBlockResp{}, err
@@ -296,13 +346,6 @@ func (nn *Namenode) AddBlock(req nnapi.AddBlockReq) (nnapi.AddBlockResp, error) 
 		nn.mBlocksAllocated.Inc()
 	}
 	return nnapi.AddBlockResp{Located: block.LocatedBlock{Block: b, Targets: targets}}, nil
-}
-
-func (nn *Namenode) policyFor(mode proto.WriteMode) placement {
-	if mode == proto.ModeSmarth {
-		return nn.smarthPolicy
-	}
-	return nn.defaultPolicy
 }
 
 // AbandonBlock drops an allocated block that never received data.
@@ -347,7 +390,7 @@ func (nn *Namenode) RecoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockR
 				}
 			}
 			if missing := replication - len(targets); missing > 0 {
-				extra, err := nn.place(req.Mode, req.Client, missing, taken)
+				extra, err := nn.place(req.Policy, req.Mode, req.Client, missing, taken)
 				if err != nil && len(targets) == 0 {
 					return nil, fmt.Errorf("recover %v: %w", req.Block, err)
 				}
@@ -364,9 +407,14 @@ func (nn *Namenode) RecoverBlock(req nnapi.RecoverBlockReq) (nnapi.RecoverBlockR
 
 // ClientHeartbeat ingests a client's speed records (SMARTH §III-B) and
 // renews the client's write leases (O(the client's open files), via the
-// per-shard lease index).
+// per-shard lease index). Every registered policy observes the
+// heartbeat (in the fixed policy.Names order), so stateful policies
+// accumulate histories regardless of which policy places the writes.
 func (nn *Namenode) ClientHeartbeat(req nnapi.ClientHeartbeatReq) (nnapi.ClientHeartbeatResp, error) {
 	nn.registry.Update(req.Client, req.Speeds)
+	for _, name := range policy.Names() {
+		nn.policies[name].ObserveHeartbeat(req.Client, req.Speeds)
+	}
 	nn.ns.renewLeases(req.Client, nn.clk.Now())
 	return nnapi.ClientHeartbeatResp{}, nil
 }

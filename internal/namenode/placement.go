@@ -1,199 +1,54 @@
 package namenode
 
 import (
-	"errors"
 	"math/rand"
 
 	"repro/internal/block"
 	"repro/internal/core"
+	"repro/internal/policy"
 )
 
 // ErrNoDatanodes is returned when placement cannot find a single target.
-var ErrNoDatanodes = errors.New("namenode: no available datanodes")
+// It aliases the policy layer's sentinel so errors.Is matches across
+// both, regardless of which layer reported the failure.
+var ErrNoDatanodes = policy.ErrNoDatanodes
 
-// placement chooses pipelines. Implementations run with the datanode
-// manager's lock held for the whole choose() — Namenode.place acquires
-// it — so topology reads and the shared placement rng need no further
-// synchronization, and one choose() observes a consistent cluster view.
-type placement interface {
-	// choose returns up to replication target datanodes for a new block
-	// written by client, never including names in exclude. Fewer targets
-	// than requested is acceptable when the cluster is small; zero is an
-	// error.
-	choose(client string, replication int, exclude []string) ([]block.DatanodeInfo, error)
-}
-
-// picker accumulates pipeline targets with exclusion bookkeeping. It is
-// shared by both policies so the rack-aware tail (second replica on a
-// remote rack, third on the second's rack, rest random) is implemented
-// exactly once.
-type picker struct {
-	dm     *datanodeManager
-	rng    *rand.Rand
-	picked []block.DatanodeInfo
-	used   map[string]bool
-	alive  map[string]bool
-}
-
-func newPicker(dm *datanodeManager, rng *rand.Rand, exclude []string) *picker {
-	p := &picker{
-		dm:    dm,
-		rng:   rng,
-		used:  make(map[string]bool, len(exclude)+4),
-		alive: make(map[string]bool),
-	}
-	for _, e := range exclude {
-		p.used[e] = true
-	}
-	for _, n := range dm.placeableNamesLocked() {
-		p.alive[n] = true
-	}
-	return p
-}
-
-func (p *picker) excludeList() []string {
-	out := make([]string, 0, len(p.used))
-	for n := range p.used {
-		out = append(out, n)
-	}
-	return out
-}
-
-// add records name as the next pipeline target if it is usable.
-func (p *picker) add(name string, ok bool) bool {
-	if !ok || p.used[name] || !p.alive[name] {
-		return false
-	}
-	info, known := p.dm.lookupLocked(name)
-	if !known {
-		return false
-	}
-	p.picked = append(p.picked, info)
-	p.used[name] = true
-	return true
-}
-
-// randomAlive picks any live, unused node.
-func (p *picker) randomAlive() bool {
-	excl := p.excludeList()
-	for {
-		name, ok := p.dm.topo.ChooseRandom(p.rng, excl)
-		if !ok {
-			return false
-		}
-		if p.add(name, true) {
-			return true
-		}
-		excl = append(excl, name) // dead or stale-topology node: skip it
-	}
-}
-
-// remoteRackOf prefers a live node on a rack other than ref's, degrading
-// to any live node when the cluster has one rack (Hadoop's fallback).
-func (p *picker) remoteRackOf(ref string) bool {
-	excl := p.excludeList()
-	for {
-		name, ok := p.dm.topo.ChooseRandomRemoteRack(p.rng, ref, excl)
-		if !ok {
-			return p.randomAlive()
-		}
-		if p.add(name, true) {
-			return true
-		}
-		excl = append(excl, name)
-	}
-}
-
-// sameRackAs prefers a live node sharing ref's rack, degrading to any.
-func (p *picker) sameRackAs(ref string) bool {
-	rack, _ := p.dm.topo.RackOf(ref)
-	excl := p.excludeList()
-	for {
-		name, ok := p.dm.topo.ChooseRandomInRack(p.rng, rack, excl)
-		if !ok {
-			return p.randomAlive()
-		}
-		if p.add(name, true) {
-			return true
-		}
-		excl = append(excl, name)
-	}
-}
-
-// fillTail extends the pipeline to the requested replication after the
-// first target is in place: second replica on a remote rack, third on
-// the second's rack, any further replicas random (both the default HDFS
-// policy in §V-B.1 and Algorithm 1 lines 11–16 share this shape).
-func (p *picker) fillTail(replication int) {
-	for len(p.picked) < replication {
-		switch len(p.picked) {
-		case 1:
-			if !p.remoteRackOf(p.picked[0].Name) {
-				return
-			}
-		case 2:
-			if !p.sameRackAs(p.picked[1].Name) {
-				return
-			}
-		default:
-			if !p.randomAlive() {
-				return
-			}
-		}
-	}
-}
-
-// defaultPlacement is HDFS's topology-aware policy: first replica on the
-// client itself when the client is a datanode, otherwise a random node;
-// then the standard rack-aware tail.
-type defaultPlacement struct {
-	dm  *datanodeManager
-	rng *rand.Rand
-}
-
-func (d *defaultPlacement) choose(client string, replication int, exclude []string) ([]block.DatanodeInfo, error) {
-	p := newPicker(d.dm, d.rng, exclude)
-	if !p.add(client, true) && !p.randomAlive() {
-		return nil, ErrNoDatanodes
-	}
-	p.fillTail(replication)
-	return p.picked, nil
-}
-
-// smarthPlacement is Algorithm 1: when the namenode holds transfer-speed
-// records for the client, the first datanode is drawn uniformly from the
-// client's TopN fastest nodes (n = activeDatanodes / replication), then
-// the standard rack-aware tail applies. Without records it falls back to
-// the default policy (Algorithm 1 line 21).
-type smarthPlacement struct {
+// placementView adapts the datanode manager (plus the speed registry) to
+// policy.ClusterView. Placement runs a whole Place() with dm.mu held —
+// Namenode.place acquires it — so every method here uses the Locked
+// forms and needs no further synchronization; a view is only valid for
+// the duration of that one call.
+type placementView struct {
 	dm       *datanodeManager
 	registry *core.Registry
-	rng      *rand.Rand
-	fallback *defaultPlacement
 }
 
-func (s *smarthPlacement) choose(client string, replication int, exclude []string) ([]block.DatanodeInfo, error) {
-	if !s.registry.HasRecords(client) {
-		return s.fallback.choose(client, replication, exclude)
-	}
-	p := newPicker(s.dm, s.rng, exclude)
-	candidates := make([]string, 0, len(p.alive))
-	for _, n := range s.dm.placeableNamesLocked() {
-		if !p.used[n] {
-			candidates = append(candidates, n)
-		}
-	}
-	if len(candidates) == 0 {
-		return nil, ErrNoDatanodes
-	}
-	n := core.MaxPipelines(len(p.alive), replication)
-	topN := s.registry.TopN(client, n, candidates)
-	if !p.add(topN[s.rng.Intn(len(topN))], true) {
-		// TopN nodes raced to death; fall back to anything alive.
-		if !p.randomAlive() {
-			return nil, ErrNoDatanodes
-		}
-	}
-	p.fillTail(replication)
-	return p.picked, nil
+// Placeable returns the datanodes eligible for new replicas, sorted.
+func (v placementView) Placeable() []string { return v.dm.placeableNamesLocked() }
+
+// Lookup resolves a datanode by name regardless of liveness.
+func (v placementView) Lookup(name string) (block.DatanodeInfo, bool) {
+	return v.dm.lookupLocked(name)
 }
+
+// ChooseRandom picks a uniformly random known datanode not in exclude.
+func (v placementView) ChooseRandom(rng *rand.Rand, exclude []string) (string, bool) {
+	return v.dm.topo.ChooseRandom(rng, exclude)
+}
+
+// ChooseRandomInRack picks a random datanode in the given rack.
+func (v placementView) ChooseRandomInRack(rng *rand.Rand, rack string, exclude []string) (string, bool) {
+	return v.dm.topo.ChooseRandomInRack(rng, rack, exclude)
+}
+
+// ChooseRandomRemoteRack picks a random datanode on a rack other than
+// ref's.
+func (v placementView) ChooseRandomRemoteRack(rng *rand.Rand, ref string, exclude []string) (string, bool) {
+	return v.dm.topo.ChooseRandomRemoteRack(rng, ref, exclude)
+}
+
+// RackOf resolves a datanode's rack.
+func (v placementView) RackOf(name string) (string, bool) { return v.dm.topo.RackOf(name) }
+
+// Registry exposes the per-client speed records backing Algorithm 1.
+func (v placementView) Registry() *core.Registry { return v.registry }

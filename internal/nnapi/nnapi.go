@@ -50,6 +50,9 @@ type CreateReq struct {
 	Replication int
 	BlockSize   int64
 	Overwrite   bool
+	// Policy names the write policy (internal/policy) deciding the
+	// file's effective replication factor. Empty means the default.
+	Policy string
 }
 
 // CreateResp acknowledges namespace creation.
@@ -73,6 +76,10 @@ type AddBlockReq struct {
 	// namenode hands that block back (with a fresh pipeline) instead of
 	// allocating an orphan that would stall Complete forever.
 	Previous block.Block
+	// Policy names the placement policy (internal/policy) choosing the
+	// pipeline. Empty means the default; the Mode still distinguishes
+	// the HDFS and SMARTH paths within a policy.
+	Policy string
 }
 
 // AddBlockResp returns the allocated block and its pipeline.
@@ -117,6 +124,9 @@ type RecoverBlockReq struct {
 	// (the failed nodes, plus SMARTH's one-pipeline-per-datanode set).
 	Exclude []string
 	Mode    proto.WriteMode
+	// Policy names the placement policy (internal/policy) choosing
+	// replacement targets. Empty means the default.
+	Policy string
 }
 
 // RecoverBlockResp carries the re-stamped block and new pipeline.

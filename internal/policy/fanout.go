@@ -1,0 +1,28 @@
+package policy
+
+import (
+	"repro/internal/proto"
+)
+
+// fanoutPolicy keeps the default policy's placement, replication, and
+// ordering but switches the data plane to SDN-style replication offload
+// (PAPERS.md, arXiv:1812.10584): the first datanode mirrors every packet
+// to all remaining replicas in parallel instead of chaining through
+// them. With three replicas the ack path shrinks from three serialized
+// hops to two, at the cost of doubling the interior node's egress. Two-
+// target pipelines stay chained — fan-out with a single leaf is just a
+// chain with extra bookkeeping.
+type fanoutPolicy struct {
+	defaultPolicy
+}
+
+func (f *fanoutPolicy) Name() string { return Fanout }
+
+// PipelineShape fans out whenever the interior node has at least two
+// leaves to mirror to.
+func (f *fanoutPolicy) PipelineShape(idx, targets int, mode proto.WriteMode) Shape {
+	if targets >= 3 {
+		return ShapeFanout
+	}
+	return ShapeChain
+}

@@ -1,0 +1,179 @@
+// Package policy is the pluggable decision layer for the write path: one
+// interface covering block placement (target selection under exclude
+// sets), the per-file replication factor, and the pipeline shape (chain
+// vs. fan-out). The namenode, the writesched engine, and the simulator
+// all consult a Policy through this package instead of hard-coding the
+// paper's algorithms, so an alternative strategy is written once and
+// runs identically live and in the DES — with conformance replaying it
+// on both substrates (see internal/conformance).
+//
+// Three policies are built in:
+//
+//   - "default" — the current behavior extracted verbatim: HDFS's
+//     topology-aware placement, SMARTH's Algorithm 1 TopN first node,
+//     Algorithm 2 local optimization, chained pipelines. Its decision
+//     logs are byte-identical to the pre-policy engine's.
+//   - "speedaware" — extends Algorithm 2's cost model with per-datanode
+//     throughput histories accumulated from client heartbeats: the
+//     first pipeline node is the deterministic argmax of the client's
+//     registry speed plus the cluster-wide history, and pipeline
+//     ordering is a deterministic speed sort with a periodic
+//     exploration swap (no rng draws).
+//   - "fanout" — SDN-style replication offload: the interior (first)
+//     datanode mirrors packets to the remaining replicas in parallel
+//     instead of chaining them, shortening the ack path at the cost of
+//     doubling the interior node's egress.
+//
+// Determinism contract: policy code is part of the simdeterminism
+// discipline (internal/analysis/simdeterminism) — no wall clock, no
+// ambient math/rand (only the explicitly seeded *rand.Rand handed in
+// through PlaceInput/OrderPipeline), and no map-iteration order feeding
+// a decision. Every choice must be a pure function of the inputs, the
+// seeded rng, and state fed through ObserveHeartbeat in a deterministic
+// call order.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/block"
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Built-in policy names, accepted by New and carried in nnapi requests.
+const (
+	// Default is the extracted legacy behavior; its conformance decision
+	// logs are byte-identical to the pre-policy engine.
+	Default = "default"
+	// SpeedAware augments placement with observed throughput histories.
+	SpeedAware = "speedaware"
+	// Fanout replaces the mirror chain with interior-node fan-out.
+	Fanout = "fanout"
+)
+
+// ErrNoDatanodes is returned when placement cannot find a single target.
+// The namenode re-exports it (namenode.ErrNoDatanodes) and the write
+// substrates match on it to decide whether an addBlock failure is
+// retryable after a pipeline retirement.
+var ErrNoDatanodes = errors.New("policy: no available datanodes")
+
+// Shape is a pipeline's data-plane topology.
+type Shape uint8
+
+const (
+	// ShapeChain is the classic HDFS/SMARTH mirror chain: the client
+	// streams to targets[0], which mirrors to targets[1], and so on.
+	ShapeChain Shape = iota
+	// ShapeFanout has the first datanode mirror every packet to all
+	// remaining targets in parallel (replication offload); acks from the
+	// leaves are merged at the interior node.
+	ShapeFanout
+)
+
+// String names the shape as it appears in decision-log lines.
+func (s Shape) String() string {
+	if s == ShapeFanout {
+		return "fanout"
+	}
+	return "chain"
+}
+
+// ClusterView is the namenode state a placement decision may read. It is
+// implemented by the namenode's datanode manager and is valid only for
+// the duration of one Place call (the namenode holds the manager's lock
+// across it, so the view is consistent and the shared rng race-free).
+type ClusterView interface {
+	// Placeable returns the datanodes eligible for new replicas (live
+	// and not decommissioning), sorted by name.
+	Placeable() []string
+	// Lookup resolves a datanode by name regardless of liveness.
+	Lookup(name string) (block.DatanodeInfo, bool)
+	// ChooseRandom picks a uniformly random known datanode not in
+	// exclude (false when none remain).
+	ChooseRandom(rng *rand.Rand, exclude []string) (string, bool)
+	// ChooseRandomInRack picks a random datanode in the given rack.
+	ChooseRandomInRack(rng *rand.Rand, rack string, exclude []string) (string, bool)
+	// ChooseRandomRemoteRack picks a random datanode on any rack other
+	// than ref's.
+	ChooseRandomRemoteRack(rng *rand.Rand, ref string, exclude []string) (string, bool)
+	// RackOf resolves a datanode's rack.
+	RackOf(name string) (string, bool)
+	// Registry exposes the namenode's per-client speed records
+	// (Algorithm 1 state).
+	Registry() *core.Registry
+}
+
+// PlaceInput carries one placement decision's parameters.
+type PlaceInput struct {
+	// Client is the writing client's name ("" for maintenance placement
+	// such as re-replication, which has no client affinity).
+	Client string
+	// Mode is the write protocol the placement serves.
+	Mode proto.WriteMode
+	// Replication is the number of targets wanted; fewer is acceptable
+	// on a small cluster, zero is an error.
+	Replication int
+	// Exclude lists datanodes that must not be chosen.
+	Exclude []string
+	// Rng is the namenode's seeded placement rng. Policies must draw all
+	// randomness from it (or use none) so placement stays reproducible.
+	Rng *rand.Rand
+}
+
+// Policy is one write-path strategy: where replicas go, how many there
+// are, and what shape the pipeline takes. Implementations must be safe
+// for concurrent use; Place additionally runs under the namenode's
+// datanode-manager lock (via the ClusterView contract).
+type Policy interface {
+	// Name is the policy's registry key ("default", "speedaware", ...).
+	Name() string
+	// ReplicationFor maps a file's requested replication factor to the
+	// one actually used (identity for all built-in policies; the hook
+	// exists so a policy can grow/shrink replication per file).
+	ReplicationFor(path string, requested int) int
+	// Place chooses up to in.Replication pipeline targets. The returned
+	// order is the pipeline order (first element receives the client's
+	// stream). Zero targets must be reported as ErrNoDatanodes (possibly
+	// wrapped).
+	Place(view ClusterView, in PlaceInput) ([]block.DatanodeInfo, error)
+	// ExcludeBusy reports whether the engine should exclude datanodes
+	// serving unretired pipelines from addBlock/recovery requests (the
+	// SMARTH one-pipeline-per-datanode rule).
+	ExcludeBusy(mode proto.WriteMode) bool
+	// OrderPipeline may reorder targets in place after placement (the
+	// Algorithm 2 slot). idx is the block index, speedOf the client's
+	// local speed estimate, rng the engine's seeded rng. It reports
+	// whether an exploration swap happened (decision-logged).
+	OrderPipeline(idx int, targets []string, speedOf func(string) float64, rng *rand.Rand) bool
+	// PipelineShape picks the data-plane topology for block idx's
+	// pipeline of the given target count. The engine forces ShapeChain
+	// when striping is enabled (the two fan-outs do not compose).
+	PipelineShape(idx, targets int, mode proto.WriteMode) Shape
+	// ObserveHeartbeat feeds one client heartbeat's speed table into the
+	// policy's state (no-op for stateless policies). Called by the
+	// namenode for every registered policy on every client heartbeat, so
+	// histories accumulate regardless of which policy placed the write.
+	ObserveHeartbeat(client string, speeds map[string]float64)
+}
+
+// New resolves a policy by name; "" selects Default. Unknown names
+// error, listing the known policies.
+func New(name string) (Policy, error) {
+	switch name {
+	case "", Default:
+		return &defaultPolicy{}, nil
+	case SpeedAware:
+		return newSpeedAware(), nil
+	case Fanout:
+		return &fanoutPolicy{}, nil
+	}
+	return nil, fmt.Errorf("policy: unknown policy %q (known: %v)", name, Names())
+}
+
+// Names lists the built-in policy names in sorted order.
+func Names() []string {
+	return []string{Default, Fanout, SpeedAware}
+}

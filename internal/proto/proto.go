@@ -15,8 +15,8 @@ import (
 )
 
 // Version is bumped on incompatible wire changes. Version 2 added the
-// stripe fields to WriteBlockHeader.
-const Version = 2
+// stripe fields to WriteBlockHeader; version 3 added the Fanout flag.
+const Version = 3
 
 // Default sizes match HDFS 1.x (§II of the paper): 64 MB blocks split
 // into 64 KB packets, checksummed in 512 B chunks.
@@ -128,6 +128,13 @@ type WriteBlockHeader struct {
 	// only — receivers may use it to preallocate block buffers — and
 	// never bounds how much data the pipeline actually accepts.
 	BlockBytes int64
+	// Fanout, when non-zero, asks the receiving datanode to mirror each
+	// packet to every entry of Targets in parallel (replication offload;
+	// the fanout policy's data plane) instead of chaining through
+	// Targets[0]. Leaves receive Fanout 0 with no targets, so only the
+	// dialed node fans out. Incompatible with striping: Fanout with
+	// Stripes > 1 is rejected at decode.
+	Fanout uint8
 }
 
 // ReadBlockHeader requests Length bytes of a block starting at Offset.

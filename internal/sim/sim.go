@@ -31,6 +31,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/nnapi"
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/proto"
 	"repro/internal/writesched"
 )
@@ -118,6 +119,11 @@ type Config struct {
 	// PipelineFaults injects pipeline failures (each fires once, on the
 	// block's initial pipeline only, so recovery can succeed).
 	PipelineFaults []PipelineFault
+
+	// Policy names the write policy (internal/policy) for every
+	// simulated writer and for the namenode's maintenance placement.
+	// "" is the default policy; unknown names fail Run.
+	Policy string
 }
 
 func (c *Config) applyDefaults() {
@@ -161,6 +167,10 @@ type Result struct {
 	// PeakPipelines is the maximum number of concurrently active
 	// pipelines observed (1 for HDFS by construction).
 	PeakPipelines int
+	// Recoveries counts the Algorithm 3 recovery episodes the write went
+	// through (one per failed pipeline, however many re-provision
+	// attempts each took).
+	Recoveries int
 	// FirstDatanodeUse counts how often each datanode served as a
 	// pipeline's first node (placement diagnostics).
 	FirstDatanodeUse map[string]int
@@ -257,6 +267,7 @@ type writer struct {
 
 	activePipes int
 	peakPipes   int
+	recoveries  int
 	firstUse    map[string]int
 	startAt     map[int]time.Duration
 	faultFired  map[int]bool
@@ -294,6 +305,11 @@ func (s *simulation) clientRack() string {
 
 func newSimulation(cfg Config, numClients int) (*simulation, error) {
 	cfg.applyDefaults()
+	// Validate the policy name up front; each writer gets its own
+	// instance so stateful policies never couple concurrent clients.
+	if _, err := policy.New(cfg.Policy); err != nil {
+		return nil, err
+	}
 	eng := des.New()
 	s := &simulation{
 		cfg: cfg,
@@ -308,6 +324,7 @@ func newSimulation(cfg Config, numClients int) (*simulation, error) {
 		Clock:  engClock{eng},
 		Expiry: time.Duration(math.MaxInt64 / 4),
 		Seed:   cfg.Seed,
+		Policy: cfg.Policy,
 	})
 
 	// Datanodes.
@@ -360,6 +377,10 @@ func newSimulation(cfg Config, numClients int) (*simulation, error) {
 			blockSpans: make(map[int]*obs.Span),
 			numBlocks:  numBlocks,
 		}
+		wpol, err := policy.New(cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
 		w.eng = writesched.New(writesched.Config{
 			Path:               w.path,
 			Mode:               cfg.Mode,
@@ -371,6 +392,7 @@ func newSimulation(cfg Config, numClients int) (*simulation, error) {
 			Seed:               cfg.Seed + int64(k)*7919,
 			SpeedOverride:      cfg.SpeedOverride,
 			Log:                cfg.DecisionLog,
+			Policy:             wpol,
 		}, w)
 		s.writers = append(s.writers, w)
 	}
@@ -444,6 +466,7 @@ func RunMulti(cfg Config, numClients int) (MultiResult, error) {
 			Bytes:            s.cfg.FileSize,
 			Blocks:           w.numBlocks,
 			PeakPipelines:    w.peakPipes,
+			Recoveries:       w.recoveries,
 			FirstDatanodeUse: w.firstUse,
 			Trace:            trace,
 			Pipelines:        spansFromTrace(trace),
@@ -491,6 +514,7 @@ func (w *writer) start() error {
 	if _, err := s.nn.Create(nnapi.CreateReq{
 		Path: w.path, Client: w.name,
 		Replication: s.cfg.Replication, BlockSize: s.cfg.BlockSize,
+		Policy: s.cfg.Policy,
 	}); err != nil {
 		return fmt.Errorf("sim: create %s: %w", w.path, err)
 	}
@@ -501,6 +525,11 @@ func (w *writer) start() error {
 		w.root.SetAttr("path", w.path)
 		w.root.SetAttr("mode", s.cfg.Mode.String())
 		w.root.SetAttr("client", w.name)
+		polName := s.cfg.Policy
+		if polName == "" {
+			polName = policy.Default
+		}
+		w.root.SetAttr("policy", polName)
 	}
 
 	// Timer heartbeats carry the client's speed table to the namenode
@@ -546,7 +575,7 @@ func (w *writer) AddBlock(idx int, exclude []string, prev block.Block) {
 	s.eng.Schedule(s.cfg.NNLatency, func() {
 		resp, err := s.nn.AddBlock(nnapi.AddBlockReq{
 			Path: w.path, Client: w.name, Mode: s.cfg.Mode,
-			Exclude: exclude, Previous: prev,
+			Exclude: exclude, Previous: prev, Policy: s.cfg.Policy,
 		})
 		if err != nil && errors.Is(err, namenode.ErrNoDatanodes) {
 			err = fmt.Errorf("%w: %v", writesched.ErrNoTargets, err)
@@ -558,10 +587,14 @@ func (w *writer) AddBlock(idx int, exclude []string, prev block.Block) {
 // RecoverBlock performs the recovery RPC after T_n.
 func (w *writer) RecoverBlock(idx, attempt int, blk block.Block, alive, exclude []string) {
 	s := w.s
+	if attempt == 1 {
+		w.recoveries++
+	}
 	s.eng.Schedule(s.cfg.NNLatency, func() {
 		resp, err := s.nn.RecoverBlock(nnapi.RecoverBlockReq{
 			Path: w.path, Client: w.name, Block: blk,
 			Alive: alive, Exclude: exclude, Mode: s.cfg.Mode,
+			Policy: s.cfg.Policy,
 		})
 		w.eng.HandleRecovered(idx, resp.Located, err)
 	})
@@ -627,8 +660,8 @@ func (w *writer) trackPipes(delta int) {
 }
 
 // StartPipeline streams block idx through lb's pipeline at packet
-// granularity.
-func (w *writer) StartPipeline(idx int, lb block.LocatedBlock, restream bool) {
+// granularity, chained or fanned out per the engine's shape decision.
+func (w *writer) StartPipeline(idx int, lb block.LocatedBlock, shape policy.Shape, restream bool) {
 	s := w.s
 	targets := lb.Targets
 	if !restream {
@@ -667,7 +700,7 @@ func (w *writer) StartPipeline(idx int, lb block.LocatedBlock, restream bool) {
 			w.eng.HandleFNFA(idx, s.eng.Now()-start)
 		}
 	}
-	w.launchPipeline(idx, targets, fault, onFNFA, func() { w.eng.HandleDrained(idx) })
+	w.launchPipeline(idx, targets, shape, fault, onFNFA, func() { w.eng.HandleDrained(idx) })
 }
 
 // --- the shared packet-level pipeline model ---
@@ -677,7 +710,15 @@ func (w *writer) StartPipeline(idx int, lb block.LocatedBlock, restream bool) {
 // onAllAcked fires when the last packet's ack returns from the whole
 // pipeline. A non-nil fault truncates production after fault.AfterPackets
 // packets and reports the failure to the engine instead.
-func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, fault *PipelineFault, onFNFA, onAllAcked func()) {
+//
+// shape selects the replication topology past the first datanode: a
+// chain mirrors hop by hop (node j forwards to j+1 after its disk
+// stores the packet), while a fan-out has node 0 deliver each stored
+// packet to every remaining node in parallel (replication offload —
+// the leaves never talk to each other). Fan-out acks need only the
+// leaf→root→client return trip once every leaf has stored the packet,
+// versus the chain's full reverse walk.
+func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, shape policy.Shape, fault *PipelineFault, onFNFA, onAllAcked func()) {
 	s := w.s
 	total := w.blockBytes(i)
 	numPackets := int((total + s.cfg.PacketSize - 1) / s.cfg.PacketSize)
@@ -691,11 +732,27 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, fault *Pipe
 			panic("sim: unknown datanode " + t.Name)
 		}
 	}
+	fan := shape == policy.ShapeFanout && len(nodes) >= 2
 
 	// aborted silences every in-flight event of this launch once a fault
 	// fires, so a stale ack can never masquerade as a drain.
 	aborted := false
 	acked := 0
+	ackArrived := func() {
+		if aborted {
+			return
+		}
+		acked++
+		if acked == numPackets {
+			onAllAcked()
+		}
+	}
+	// leafStored counts, per packet, how many fan-out leaves have stored
+	// it; the packet's ack leaves when the count reaches all leaves.
+	var leafStored []int
+	if fan {
+		leafStored = make([]int, numPackets)
+	}
 	var arriveAtDN func(j, k int, pktBytes int64)
 	arriveAtDN = func(j, k int, pktBytes int64) {
 		if aborted {
@@ -706,8 +763,13 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, fault *Pipe
 			if aborted {
 				return
 			}
-			// Stored locally; mirror to the next hop.
-			if j+1 < len(nodes) {
+			// Stored locally; replicate onward per the pipeline shape.
+			if fan && j == 0 {
+				for l := 1; l < len(nodes); l++ {
+					l := l
+					s.nw.Deliver(node, nodes[l], pktBytes, func() { arriveAtDN(l, k, pktBytes) })
+				}
+			} else if !fan && j+1 < len(nodes) {
 				s.nw.Deliver(node, nodes[j+1], pktBytes, func() { arriveAtDN(j+1, k, pktBytes) })
 			}
 			if j == 0 && k == numPackets-1 && onFNFA != nil {
@@ -718,20 +780,21 @@ func (w *writer) launchPipeline(i int, targets []block.DatanodeInfo, fault *Pipe
 					}
 				})
 			}
-			if j == len(nodes)-1 {
+			if fan {
+				if j > 0 {
+					leafStored[k]++
+					if leafStored[k] == len(nodes)-1 {
+						// Merged leaf acks ride back through the root:
+						// leaf→root plus root→client, two hops.
+						s.eng.Schedule(2*s.cfg.HopLatency, ackArrived)
+					}
+				}
+			} else if j == len(nodes)-1 {
 				// The combined ack travels the pipeline in reverse; the
 				// paper treats ack transfer time as negligible, so only
 				// latency is charged.
 				ackDelay := time.Duration(len(nodes)) * s.cfg.HopLatency
-				s.eng.Schedule(ackDelay, func() {
-					if aborted {
-						return
-					}
-					acked++
-					if acked == numPackets {
-						onAllAcked()
-					}
-				})
+				s.eng.Schedule(ackDelay, ackArrived)
 			}
 		})
 	}

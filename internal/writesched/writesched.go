@@ -41,7 +41,7 @@ import (
 	"time"
 
 	"repro/internal/block"
-	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/proto"
 )
 
@@ -106,11 +106,12 @@ type Substrate interface {
 	RecoverBlock(idx, attempt int, blk block.Block, alive, exclude []string)
 	// Complete finalizes the file; report via HandleCompleteDone.
 	Complete()
-	// StartPipeline streams block idx through lb's pipeline. Report FNFA
-	// via HandleFNFA (first full store on lb.Targets[0]; skipped when
-	// restream is true), full drain via HandleDrained, and errors via
-	// HandleFailed.
-	StartPipeline(idx int, lb block.LocatedBlock, restream bool)
+	// StartPipeline streams block idx through lb's pipeline with the
+	// given data-plane shape (chain or fan-out, chosen by the policy).
+	// Report FNFA via HandleFNFA (first full store on lb.Targets[0];
+	// skipped when restream is true), full drain via HandleDrained, and
+	// errors via HandleFailed.
+	StartPipeline(idx int, lb block.LocatedBlock, shape policy.Shape, restream bool)
 	// Heartbeat ships the client's speed table to the namenode.
 	Heartbeat()
 	// RecordSpeed folds one FNFA sample into the client's speed table.
@@ -160,6 +161,11 @@ type Config struct {
 	SpeedOverride SpeedFunc
 	// Log receives the decision log (nil = no logging).
 	Log *DecisionLog
+	// Policy supplies the engine-side policy decisions: busy-datanode
+	// exclusion, pipeline ordering (the Algorithm 2 slot), and pipeline
+	// shape. Nil selects the default policy, whose decision log is
+	// byte-identical to the pre-policy engine's.
+	Policy policy.Policy
 }
 
 // DecisionLog is an append-only, concurrency-safe list of protocol
@@ -217,6 +223,7 @@ type blockRec struct {
 type Engine struct {
 	cfg Config
 	sub Substrate
+	pol policy.Policy
 	rng *rand.Rand
 
 	mu    sync.Mutex
@@ -248,13 +255,23 @@ func New(cfg Config, sub Substrate) *Engine {
 	if seed == 0 {
 		seed = 1
 	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol, _ = policy.New(policy.Default)
+	}
 	e := &Engine{
 		cfg:        cfg,
 		sub:        sub,
+		pol:        pol,
 		rng:        rand.New(rand.NewSource(seed)),
 		recovering: -1,
 	}
 	e.logf("create path=%s mode=%v repl=%d cap=%d", cfg.Path, cfg.Mode, cfg.Replication, cfg.MaxPipelines)
+	// Logged only for non-default policies, so default logs stay
+	// byte-identical to the pre-policy engine (like the stripes line).
+	if pol.Name() != policy.Default {
+		e.logf("policy name=%s", pol.Name())
+	}
 	if cfg.Stripes > 1 {
 		e.logf("stripes n=%d", cfg.Stripes)
 	}
@@ -352,9 +369,10 @@ func (e *Engine) chainReady(idx int) bool {
 }
 
 // excludeFor is the one-pipeline-per-datanode rule: every datanode
-// serving an unretired launched block, sorted. HDFS never excludes.
+// serving an unretired launched block, sorted. Whether it applies is
+// the policy's call (the default excludes for SMARTH, never for HDFS).
 func (e *Engine) excludeFor(b *blockRec) []string {
-	if e.cfg.Mode != proto.ModeSmarth {
+	if !e.pol.ExcludeBusy(e.cfg.Mode) {
 		return nil
 	}
 	set := make(map[string]bool)
@@ -372,6 +390,22 @@ func (e *Engine) excludeFor(b *blockRec) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// shapeFor asks the policy for block idx's data-plane shape. Striping
+// forces the chain — a striped fan-out would multiply stream counts at
+// the interior node, and the wire protocol rejects the combination. A
+// non-chain choice is decision-logged; the chain stays silent so
+// default-policy logs are byte-identical to the pre-policy engine's.
+func (e *Engine) shapeFor(idx, targets int) policy.Shape {
+	if e.cfg.Stripes > 1 {
+		return policy.ShapeChain
+	}
+	shape := e.pol.PipelineShape(idx, targets, e.cfg.Mode)
+	if shape != policy.ShapeChain {
+		e.logf("shape idx=%d kind=%v", idx, shape)
+	}
+	return shape
 }
 
 // needRetire reports whether block b must wait for a retirement before
@@ -489,7 +523,7 @@ func (e *Engine) HandleAddBlock(idx int, lb block.LocatedBlock, err error) {
 			for _, t := range lb.Targets {
 				byName[t.Name] = t
 			}
-			swapped := core.LocalOptimize(names, e.sub.SpeedOf, e.rng)
+			swapped := e.pol.OrderPipeline(idx, names, e.sub.SpeedOf, e.rng)
 			for i, n := range names {
 				lb.Targets[i] = byName[n]
 			}
@@ -500,8 +534,9 @@ func (e *Engine) HandleAddBlock(idx int, lb block.LocatedBlock, err error) {
 		e.allocating = false
 		e.nextLaunch++
 		e.launchQ = append(e.launchQ, idx)
+		shape := e.shapeFor(idx, len(lb.Targets))
 		e.logf("launch idx=%d targets=[%s]", idx, strings.Join(lb.Names(), ","))
-		e.call(func() { e.sub.StartPipeline(idx, lb, false) })
+		e.call(func() { e.sub.StartPipeline(idx, lb, shape, false) })
 		e.advance()
 	})
 }
@@ -657,7 +692,7 @@ func (e *Engine) tryRecover(b *blockRec) {
 	for n := range b.suspects {
 		set[n] = true
 	}
-	if e.cfg.Mode == proto.ModeSmarth {
+	if e.pol.ExcludeBusy(e.cfg.Mode) {
 		for _, qi := range e.launchQ {
 			if qi == b.idx {
 				continue
@@ -694,8 +729,9 @@ func (e *Engine) HandleRecovered(idx int, lb block.LocatedBlock, err error) {
 			return
 		}
 		b.lb = lb
+		shape := e.shapeFor(idx, len(lb.Targets))
 		e.logf("restream idx=%d targets=[%s]", idx, strings.Join(lb.Names(), ","))
-		e.call(func() { e.sub.StartPipeline(idx, lb, true) })
+		e.call(func() { e.sub.StartPipeline(idx, lb, shape, true) })
 	})
 }
 
